@@ -1,0 +1,240 @@
+// Benchmarks that regenerate every table and figure in the paper, plus
+// ablation benches for the design choices called out in DESIGN.md. Each
+// paper benchmark runs a subsampled configuration per iteration (the full
+// corpus runs live in cmd/mm-bench); the measured statistics are reported
+// via b.ReportMetric so `go test -bench` output doubles as a results
+// table.
+package repro_test
+
+import (
+	"testing"
+
+	"repro/internal/browser"
+	"repro/internal/experiments"
+	"repro/internal/match"
+	"repro/internal/netem"
+	"repro/internal/shells"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/webgen"
+)
+
+// BenchmarkFigure2 regenerates Figure 2 (shell overhead CDFs): median PLT
+// overhead of DelayShell 0 ms and LinkShell 1000 Mbit/s over bare
+// ReplayShell. Paper: +0.15% and +1.5%.
+func BenchmarkFigure2(b *testing.B) {
+	cfg := experiments.DefaultFig2()
+	cfg.Sites = 40
+	var last experiments.Fig2Result
+	for i := 0; i < b.N; i++ {
+		last = experiments.Fig2(cfg)
+	}
+	b.ReportMetric(last.OverheadD*100, "delay0-overhead-%")
+	b.ReportMetric(last.OverheadL*100, "link1000-overhead-%")
+	b.ReportMetric(last.Replay.Median(), "replay-median-ms")
+}
+
+// BenchmarkTable1 regenerates Table 1 (reproducibility): per-site PLT
+// mean across two machines. Paper: CNBC 7584±120 / 7612±111 ms, wikiHow
+// 4804±37 / 4800±37 ms.
+func BenchmarkTable1(b *testing.B) {
+	cfg := experiments.DefaultTable1()
+	cfg.Loads = 10
+	var last experiments.Table1Result
+	for i := 0; i < b.N; i++ {
+		last = experiments.Table1(cfg)
+	}
+	b.ReportMetric(last.Rows[0].Machines[0].Mean(), "cnbc-mean-ms")
+	b.ReportMetric(last.Rows[1].Machines[0].Mean(), "wikihow-mean-ms")
+	b.ReportMetric(last.Rows[0].MeanGap()*100, "cnbc-machine-gap-%")
+}
+
+// BenchmarkTable2 regenerates Table 2 (multi-origin ablation grid):
+// per-site PLT distortion of single-server replay. Paper medians range
+// from 1.6% (1 Mbit/s) to 21.4% (25 Mbit/s).
+func BenchmarkTable2(b *testing.B) {
+	cfg := experiments.DefaultTable2()
+	cfg.Sites = 15
+	var last experiments.Table2Result
+	for i := 0; i < b.N; i++ {
+		last = experiments.Table2(cfg)
+	}
+	lo := last.Cell(30*sim.Millisecond, 1_000_000)
+	hi := last.Cell(30*sim.Millisecond, 25_000_000)
+	b.ReportMetric(lo.Diffs.Median()*100, "1mbps-median-diff-%")
+	b.ReportMetric(hi.Diffs.Median()*100, "25mbps-median-diff-%")
+	b.ReportMetric(hi.Diffs.Percentile(95)*100, "25mbps-p95-diff-%")
+}
+
+// BenchmarkFigure3 regenerates Figure 3 (replay fidelity): median PLT gap
+// of multi-origin and single-server replay versus the live web. Paper:
+// 7.9% and 29.6%.
+func BenchmarkFigure3(b *testing.B) {
+	cfg := experiments.DefaultFig3()
+	cfg.Loads = 20
+	var last experiments.Fig3Result
+	for i := 0; i < b.N; i++ {
+		last = experiments.Fig3(cfg)
+	}
+	b.ReportMetric(last.MultiGap*100, "multi-gap-%")
+	b.ReportMetric(last.SingleGap*100, "single-gap-%")
+	b.ReportMetric(last.Web.Median(), "web-median-ms")
+}
+
+// BenchmarkServersPerSite regenerates the §4 corpus statistic. Paper:
+// median 20, p95 51, 9 single-server sites of 500.
+func BenchmarkServersPerSite(b *testing.B) {
+	var last experiments.ServersResult
+	for i := 0; i < b.N; i++ {
+		last = experiments.ServersPerSite(1, 500)
+	}
+	b.ReportMetric(last.Counts.Median(), "median-servers")
+	b.ReportMetric(last.Counts.Percentile(95), "p95-servers")
+	b.ReportMetric(float64(last.SingleServer), "single-server-sites")
+}
+
+// BenchmarkIsolation regenerates the §4 isolation claim: a load measured
+// alongside a saturating neighbour must match the solo load exactly.
+func BenchmarkIsolation(b *testing.B) {
+	identical := true
+	for i := 0; i < b.N; i++ {
+		r := experiments.Isolation(5)
+		identical = identical && r.Identical()
+	}
+	v := 1.0
+	if !identical {
+		v = 0
+	}
+	b.ReportMetric(v, "bit-identical")
+}
+
+// --- Ablation benches (DESIGN.md) ---
+
+// BenchmarkAblationDelayBoxPerEvent compares the two DelayShell queue
+// implementations: per-packet event scheduling (DelayBox) versus a single
+// armed timer over a FIFO (FIFODelayBox, Mahimahi's structure).
+func BenchmarkAblationDelayBoxPerEvent(b *testing.B) {
+	benchDelayImpl(b, func(loop *sim.Loop) netem.Box {
+		return netem.NewDelayBox(loop, 10*sim.Millisecond)
+	})
+}
+
+func BenchmarkAblationDelayBoxFIFO(b *testing.B) {
+	benchDelayImpl(b, func(loop *sim.Loop) netem.Box {
+		return netem.NewFIFODelayBox(loop, 10*sim.Millisecond)
+	})
+}
+
+func benchDelayImpl(b *testing.B, mk func(*sim.Loop) netem.Box) {
+	for i := 0; i < b.N; i++ {
+		loop := sim.NewLoop()
+		box := mk(loop)
+		delivered := 0
+		box.SetSink(func(*netem.Packet) { delivered++ })
+		for j := 0; j < 1000; j++ {
+			j := j
+			loop.Schedule(sim.Time(j)*sim.Microsecond, func(sim.Time) {
+				box.Send(&netem.Packet{Size: netem.MTU})
+			})
+		}
+		loop.Run()
+		if delivered != 1000 {
+			b.Fatalf("delivered %d", delivered)
+		}
+	}
+}
+
+// BenchmarkAblationMatcherExactOnly vs full: cost and hit rate of the
+// Mahimahi query-prefix matching rule versus exact-only matching, on a
+// workload whose queries carry cache-buster tokens.
+func BenchmarkAblationMatcherPrefix(b *testing.B) {
+	page := webgen.GeneratePage(sim.NewRand(1), webgen.CNBCLike())
+	site := webgen.Materialize(page)
+	m := match.New(site)
+	b.ResetTimer()
+	// Requests carry perturbed cache-buster suffixes: exact match fails,
+	// the Mahimahi prefix rule recovers.
+	hits := 0
+	for i := 0; i < b.N; i++ {
+		e := site.Exchanges[i%len(site.Exchanges)]
+		req := e.Request.Clone()
+		req.Target += "?cb=12345"
+		if _, ok := m.Lookup(req); ok {
+			hits++
+		}
+	}
+	b.ReportMetric(float64(hits)/float64(b.N)*100, "hit-%")
+}
+
+// BenchmarkAblationConnsPerHost sweeps the browser's per-origin connection
+// limit, the knob the multi-origin effect depends on.
+func BenchmarkAblationConnsPerHost(b *testing.B) {
+	page := webgen.GeneratePage(sim.NewRand(5), webgen.WikiHowLike())
+	tr, err := trace.Constant(14_000_000, 2000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, conns := range []int{2, 6, 12} {
+		b.Run(map[int]string{2: "conns2", 6: "conns6", 12: "conns12"}[conns], func(b *testing.B) {
+			var plt float64
+			for i := 0; i < b.N; i++ {
+				opts := browser.DefaultOptions()
+				opts.ConnsPerHost = conns
+				plt = experiments.PLTms(experiments.LoadSpec{
+					Page: page, DNSLatency: sim.Millisecond,
+					Shells: []shells.Shell{
+						shells.NewDelayShell(30 * sim.Millisecond),
+						shells.NewLinkShell(tr, tr),
+					},
+					Browser: &opts,
+				})
+			}
+			b.ReportMetric(plt, "plt-ms")
+		})
+	}
+}
+
+// BenchmarkAblationTraceBoxQueue compares LinkShell with an unlimited
+// queue against a droptail-limited one under a saturating load.
+func BenchmarkAblationTraceBoxQueue(b *testing.B) {
+	page := webgen.GeneratePage(sim.NewRand(6), webgen.WikiHowLike())
+	for _, qlen := range []int{0, 32} {
+		name := "unlimited"
+		if qlen > 0 {
+			name = "droptail32"
+		}
+		b.Run(name, func(b *testing.B) {
+			tr, err := trace.Constant(2_000_000, 2000)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var plt float64
+			for i := 0; i < b.N; i++ {
+				link := shells.NewLinkShell(tr, tr)
+				link.QueuePackets = qlen
+				plt = experiments.PLTms(experiments.LoadSpec{
+					Page: page, DNSLatency: sim.Millisecond,
+					Shells: []shells.Shell{
+						shells.NewDelayShell(50 * sim.Millisecond),
+						link,
+					},
+				})
+			}
+			b.ReportMetric(plt, "plt-ms")
+		})
+	}
+}
+
+// BenchmarkPageLoad measures raw simulator throughput: one full replayed
+// page load per iteration (the unit of work every experiment multiplies).
+func BenchmarkPageLoad(b *testing.B) {
+	page := webgen.GeneratePage(sim.NewRand(2), webgen.WikiHowLike())
+	site := webgen.Materialize(page)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		experiments.Load(experiments.LoadSpec{
+			Page: page, Site: site, DNSLatency: sim.Millisecond,
+			Shells: []shells.Shell{shells.NewDelayShell(30 * sim.Millisecond)},
+		})
+	}
+}

@@ -1,0 +1,82 @@
+// mm-bench regenerates every table and figure from the paper's evaluation:
+//
+//	mm-bench -exp all            # everything (several minutes)
+//	mm-bench -exp fig2 -sites 50 # one artifact, subsampled corpus
+//
+// Experiments: fig2, table1, table2, fig3, servers, isolation.
+// Results print in the paper's layout with the paper's numbers alongside;
+// EXPERIMENTS.md records a reference run.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: fig2|table1|table2|fig3|servers|isolation|all")
+	sites := flag.Int("sites", 0, "override corpus size (0 = experiment default)")
+	loads := flag.Int("loads", 0, "override load count (0 = experiment default)")
+	flag.Parse()
+
+	run := func(name string, fn func()) {
+		if *exp != "all" && *exp != name {
+			return
+		}
+		start := time.Now()
+		fn()
+		fmt.Printf("[%s finished in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+
+	run("servers", func() {
+		n := 500
+		if *sites > 0 {
+			n = *sites
+		}
+		fmt.Println(experiments.ServersPerSite(1, n))
+	})
+	run("fig2", func() {
+		cfg := experiments.DefaultFig2()
+		if *sites > 0 {
+			cfg.Sites = *sites
+		}
+		fmt.Println(experiments.Fig2(cfg))
+	})
+	run("table1", func() {
+		cfg := experiments.DefaultTable1()
+		if *loads > 0 {
+			cfg.Loads = *loads
+		}
+		fmt.Println(experiments.Table1(cfg))
+	})
+	run("table2", func() {
+		cfg := experiments.DefaultTable2()
+		if *sites > 0 {
+			cfg.Sites = *sites
+		}
+		fmt.Println(experiments.Table2(cfg))
+	})
+	run("fig3", func() {
+		cfg := experiments.DefaultFig3()
+		if *loads > 0 {
+			cfg.Loads = *loads
+		}
+		fmt.Println(experiments.Fig3(cfg))
+	})
+	run("isolation", func() {
+		fmt.Println(experiments.Isolation(5))
+	})
+
+	valid := map[string]bool{"all": true, "fig2": true, "table1": true,
+		"table2": true, "fig3": true, "servers": true, "isolation": true}
+	if !valid[*exp] {
+		fmt.Fprintf(os.Stderr, "mm-bench: unknown experiment %q (want %s)\n",
+			*exp, strings.Join([]string{"fig2", "table1", "table2", "fig3", "servers", "isolation", "all"}, "|"))
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,55 @@
+// mm-delay measures a replayed page load under a fixed one-way delay, the
+// analogue of `mm-delay <ms> -- browser`:
+//
+//	mm-delay 50
+//	mm-delay -servers 20 -loads 3 120
+//
+// The positional argument is the one-way delay in milliseconds, matching
+// Mahimahi's CLI.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/shells"
+	"repro/internal/sim"
+	"repro/internal/webgen"
+)
+
+func main() {
+	servers := flag.Int("servers", 12, "synthetic origin count")
+	seed := flag.Uint64("seed", 1, "synthesis seed")
+	loads := flag.Int("loads", 1, "number of page loads")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: mm-delay [flags] <one-way-delay-ms>")
+		os.Exit(2)
+	}
+	ms, err := strconv.Atoi(flag.Arg(0))
+	if err != nil || ms < 0 {
+		fmt.Fprintf(os.Stderr, "mm-delay: bad delay %q\n", flag.Arg(0))
+		os.Exit(2)
+	}
+
+	page := webgen.GeneratePage(sim.NewRand(*seed), webgen.DefaultProfile("www.example.com", *servers))
+	for i := 0; i < *loads; i++ {
+		session := core.NewSession()
+		replay, err := session.NewReplay(core.ReplayConfig{
+			Page:       page,
+			Shells:     []shells.Shell{shells.NewDelayShell(sim.Time(ms) * sim.Millisecond)},
+			DNSLatency: sim.Millisecond,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mm-delay:", err)
+			os.Exit(1)
+		}
+		res := replay.LoadPage()
+		fmt.Printf("delay %dms load %d: PLT %v (%d resources, %d KB)\n",
+			ms, i+1, res.PLT.Duration().Round(time.Millisecond), res.Resources, res.Bytes/1024)
+	}
+}

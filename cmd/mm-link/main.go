@@ -1,0 +1,91 @@
+// mm-link measures a replayed page load over trace-driven links, the
+// analogue of `mm-link up.trace down.trace -- browser`:
+//
+//	mm-link uplink.trace downlink.trace
+//	mm-link -rate 14 -delay 30            (constant-rate links, no files)
+//
+// Trace files use Mahimahi's format: one millisecond timestamp per line,
+// each line one MTU-sized packet-delivery opportunity.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/shells"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/webgen"
+)
+
+func main() {
+	rateMbps := flag.Float64("rate", 0, "constant rate in Mbit/s for both directions (instead of trace files)")
+	delayMS := flag.Int("delay", 0, "additional DelayShell one-way delay, ms")
+	queue := flag.Int("queue", 0, "droptail queue limit in packets (0 = unlimited)")
+	servers := flag.Int("servers", 12, "synthetic origin count")
+	seed := flag.Uint64("seed", 1, "synthesis seed")
+	loads := flag.Int("loads", 1, "number of page loads")
+	flag.Parse()
+
+	var up, down *trace.Trace
+	var err error
+	switch {
+	case *rateMbps > 0:
+		up, err = trace.Constant(int64(*rateMbps*1e6), 2000)
+		if err == nil {
+			down, err = trace.Constant(int64(*rateMbps*1e6), 2000)
+		}
+	case flag.NArg() == 2:
+		up, err = loadTrace(flag.Arg(0))
+		if err == nil {
+			down, err = loadTrace(flag.Arg(1))
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "usage: mm-link [flags] <up.trace> <down.trace>  (or -rate N)")
+		os.Exit(2)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("uplink %s (%.1f Mbit/s mean), downlink %s (%.1f Mbit/s mean)\n",
+		up.Name(), up.MeanRate()/1e6, down.Name(), down.MeanRate()/1e6)
+
+	link := shells.NewLinkShell(up, down)
+	link.QueuePackets = *queue
+	shellList := []shells.Shell{}
+	if *delayMS > 0 {
+		shellList = append(shellList, shells.NewDelayShell(sim.Time(*delayMS)*sim.Millisecond))
+	}
+	shellList = append(shellList, link)
+
+	page := webgen.GeneratePage(sim.NewRand(*seed), webgen.DefaultProfile("www.example.com", *servers))
+	for i := 0; i < *loads; i++ {
+		session := core.NewSession()
+		replay, err := session.NewReplay(core.ReplayConfig{
+			Page: page, Shells: shellList, DNSLatency: sim.Millisecond,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		res := replay.LoadPage()
+		fmt.Printf("load %d: PLT %v (%d resources, %d KB, %d errors)\n",
+			i+1, res.PLT.Duration().Round(time.Millisecond), res.Resources, res.Bytes/1024, res.Errors)
+	}
+}
+
+func loadTrace(path string) (*trace.Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return trace.Parse(path, f)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mm-link:", err)
+	os.Exit(1)
+}

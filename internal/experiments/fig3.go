@@ -1,0 +1,109 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/browser"
+	"repro/internal/inet"
+	"repro/internal/nsim"
+	"repro/internal/shells"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/tcpsim"
+	"repro/internal/webgen"
+)
+
+// Fig3Config parameterizes Figure 3 (replay fidelity vs the actual web).
+type Fig3Config struct {
+	// Loads per arm (paper: 100 loads of www.nytimes.com).
+	Loads int
+	// Seed drives the live web's variability and the per-load RTT draws.
+	Seed uint64
+	// MinRTTBase/MinRTTSpread: each load's path minimum RTT is drawn
+	// uniformly from [Base, Base+Spread]; as in the paper, the same
+	// per-load minimum RTT is fed to DelayShell for the replay arms.
+	MinRTTBase, MinRTTSpread sim.Time
+}
+
+// DefaultFig3 mirrors the paper's setup.
+func DefaultFig3() Fig3Config {
+	return Fig3Config{
+		Loads: 100, Seed: 3,
+		MinRTTBase: 20 * sim.Millisecond, MinRTTSpread: 20 * sim.Millisecond,
+	}
+}
+
+// Fig3Result holds the three PLT distributions of Figure 3.
+type Fig3Result struct {
+	Web    *stats.Sample // actual (simulated live) web
+	Multi  *stats.Sample // ReplayShell, multi-origin preserved
+	Single *stats.Sample // ReplayShell, single-server ablation
+	// Median discrepancies vs the web (paper: 7.9% multi, 29.6% single).
+	MultiGap, SingleGap float64
+}
+
+// Fig3 measures a nytimes-like page 100 times on the live-web model and
+// inside ReplayShell with and without multi-origin preservation, matching
+// each web load's minimum RTT in the replay arms via DelayShell.
+func Fig3(cfg Fig3Config) Fig3Result {
+	page := webgen.GeneratePage(sim.NewRand(11), webgen.NYTimesLike())
+	site := webgen.Materialize(page)
+	rng := sim.NewRand(cfg.Seed)
+
+	var web, multi, single []float64
+	for i := 0; i < cfg.Loads; i++ {
+		minRTT := cfg.MinRTTBase + rng.Duration(cfg.MinRTTSpread+1)
+		webSeed := rng.Uint64()
+		web = append(web, liveLoad(page, minRTT/2, webSeed))
+		sh := []shells.Shell{shells.NewDelayShell(minRTT / 2)}
+		multi = append(multi, PLTms(LoadSpec{
+			Page: page, Site: site, DNSLatency: sim.Millisecond, RequestCPU: DefaultRequestCPU, Shells: sh,
+			CPUJitterSigma: 0.015, Rand: rng,
+		}))
+		single = append(single, PLTms(LoadSpec{
+			Page: page, Site: site, DNSLatency: sim.Millisecond, RequestCPU: DefaultRequestCPU, Shells: sh,
+			SingleServer: true, CPUJitterSigma: 0.015, Rand: rng,
+		}))
+	}
+	r := Fig3Result{
+		Web:    stats.New(web),
+		Multi:  stats.New(multi),
+		Single: stats.New(single),
+	}
+	r.MultiGap = stats.AbsRelDiff(r.Multi.Median(), r.Web.Median())
+	r.SingleGap = stats.AbsRelDiff(r.Single.Median(), r.Web.Median())
+	return r
+}
+
+// liveLoad runs one load against the live-web model behind a DelayShell
+// contributing the path's minimum RTT, returning PLT in milliseconds.
+func liveLoad(page *webgen.Page, oneWay sim.Time, seed uint64) float64 {
+	loop := sim.NewLoop()
+	network := nsim.NewNetwork(loop)
+	web, err := inet.New(network, inet.DefaultConfig(page, seed))
+	if err != nil {
+		panic("experiments: " + err.Error())
+	}
+	st := shells.Build(network, web.NS, AppAddr, shells.NewDelayShell(oneWay))
+	b := browser.New(tcpsim.NewStack(st.App), web.Resolver, AppAddr, browser.DefaultOptions())
+	var result browser.Result
+	b.Load(page, func(r browser.Result) { result = r })
+	loop.Run()
+	return result.PLT.Milliseconds()
+}
+
+// String renders the figure: summary plus ASCII CDF.
+func (r Fig3Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 3: replay fidelity vs the actual web (%d loads each)\n", r.Web.Len())
+	fmt.Fprintf(&b, "  Actual Web            median %7.0f ms\n", r.Web.Median())
+	fmt.Fprintf(&b, "  Replay multi-origin   median %7.0f ms  (|gap| %.1f%%; paper: 7.9%%)\n",
+		r.Multi.Median(), r.MultiGap*100)
+	fmt.Fprintf(&b, "  Replay single server  median %7.0f ms  (|gap| %.1f%%; paper: 29.6%%)\n",
+		r.Single.Median(), r.SingleGap*100)
+	b.WriteString(stats.ASCIICDF(60, 12,
+		[]string{"Actual Web", "Replay multi-origin", "Replay single server"},
+		[]*stats.Sample{r.Web, r.Multi, r.Single}))
+	return b.String()
+}

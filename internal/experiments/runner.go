@@ -1,0 +1,93 @@
+// Package experiments contains one driver per table and figure in the
+// paper's evaluation. Each driver builds fresh namespaces per page load (as
+// Mahimahi does per shell invocation), runs the load on a virtual clock,
+// and reports the same statistics the paper prints. The benchmarks in the
+// repository root and cmd/mm-bench both call into this package, so the
+// numbers in EXPERIMENTS.md are regenerated from exactly this code.
+package experiments
+
+import (
+	"repro/internal/archive"
+	"repro/internal/browser"
+	"repro/internal/nsim"
+	"repro/internal/replayshell"
+	"repro/internal/shells"
+	"repro/internal/sim"
+	"repro/internal/tcpsim"
+	"repro/internal/webgen"
+)
+
+// AppAddr is the address of the measured application's namespace in every
+// experiment.
+var AppAddr = nsim.ParseAddr("100.64.0.2")
+
+// DefaultRequestCPU is the per-request replay-server cost used by the
+// paper-replication drivers (Mahimahi's fork-a-CGI-per-request matcher
+// costs low milliseconds on 2014 hardware).
+const DefaultRequestCPU = 10 * sim.Millisecond
+
+// LoadSpec describes a single replayed page load.
+type LoadSpec struct {
+	// Page drives the browser; Site is the archive to replay (defaults to
+	// webgen.Materialize(Page)).
+	Page *webgen.Page
+	Site *archive.Site
+	// SingleServer enables ReplayShell's §4 ablation mode.
+	SingleServer bool
+	// Shells are nested innermost-first between the app and ReplayShell.
+	Shells []shells.Shell
+	// DNSLatency is the replay resolver's uncached cost.
+	DNSLatency sim.Time
+	// RequestCPU is the per-request replay-server processing cost (the
+	// CGI matcher); see replayshell.Config.RequestCPU.
+	RequestCPU sim.Time
+	// CPUJitterSigma perturbs the browser's compute scale per load,
+	// modelling host-machine noise (Table 1's machine-to-machine and
+	// load-to-load variation). Zero gives bit-deterministic loads.
+	CPUJitterSigma float64
+	// Rand supplies the jitter; required when CPUJitterSigma > 0.
+	Rand *sim.Rand
+	// Browser overrides browser options; nil uses defaults.
+	Browser *browser.Options
+}
+
+// Load runs one page load in a fresh network and returns the result.
+func Load(spec LoadSpec) browser.Result {
+	loop := sim.NewLoop()
+	network := nsim.NewNetwork(loop)
+	site := spec.Site
+	if site == nil {
+		site = webgen.Materialize(spec.Page)
+	}
+	replay, err := replayshell.New(network, replayshell.Config{
+		Site:         site,
+		SingleServer: spec.SingleServer,
+		DNSLatency:   spec.DNSLatency,
+		RequestCPU:   spec.RequestCPU,
+	})
+	if err != nil {
+		panic("experiments: " + err.Error())
+	}
+	st := shells.Build(network, replay.NS, AppAddr, spec.Shells...)
+
+	opts := browser.DefaultOptions()
+	if spec.Browser != nil {
+		opts = *spec.Browser
+	}
+	if spec.CPUJitterSigma > 0 && spec.Rand != nil {
+		opts.CPUScale *= 1 + spec.CPUJitterSigma*spec.Rand.NormFloat64()
+		if opts.CPUScale < 0.1 {
+			opts.CPUScale = 0.1
+		}
+	}
+	b := browser.New(tcpsim.NewStack(st.App), replay.Resolver, AppAddr, opts)
+	var result browser.Result
+	b.Load(spec.Page, func(r browser.Result) { result = r })
+	loop.Run()
+	return result
+}
+
+// PLTms runs Load and returns the page load time in milliseconds.
+func PLTms(spec LoadSpec) float64 {
+	return Load(spec).PLT.Milliseconds()
+}

@@ -1,0 +1,384 @@
+package httpx
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func feedAll(t *testing.T, p *RequestParser, data []byte) []*Request {
+	t.Helper()
+	reqs, err := p.Feed(data)
+	if err != nil {
+		t.Fatalf("Feed: %v", err)
+	}
+	return reqs
+}
+
+func TestParseSimpleGet(t *testing.T) {
+	var p RequestParser
+	raw := "GET /index.html?x=1 HTTP/1.1\r\nHost: example.com\r\nAccept: */*\r\n\r\n"
+	reqs := feedAll(t, &p, []byte(raw))
+	if len(reqs) != 1 {
+		t.Fatalf("got %d requests, want 1", len(reqs))
+	}
+	r := reqs[0]
+	if r.Method != "GET" || r.Target != "/index.html?x=1" || r.Proto != "HTTP/1.1" {
+		t.Fatalf("request line parsed as %q %q %q", r.Method, r.Target, r.Proto)
+	}
+	if r.Host() != "example.com" {
+		t.Fatalf("Host = %q", r.Host())
+	}
+	if r.Path() != "/index.html" || r.Query() != "x=1" {
+		t.Fatalf("Path/Query = %q/%q", r.Path(), r.Query())
+	}
+}
+
+func TestParseByteAtATime(t *testing.T) {
+	var p RequestParser
+	raw := "POST /submit HTTP/1.1\r\nHost: h\r\nContent-Length: 5\r\n\r\nhello"
+	var got []*Request
+	for i := 0; i < len(raw); i++ {
+		reqs, err := p.Feed([]byte{raw[i]})
+		if err != nil {
+			t.Fatalf("byte %d: %v", i, err)
+		}
+		got = append(got, reqs...)
+	}
+	if len(got) != 1 {
+		t.Fatalf("got %d requests, want 1", len(got))
+	}
+	if string(got[0].Body) != "hello" {
+		t.Fatalf("body = %q", got[0].Body)
+	}
+}
+
+func TestParsePipelinedRequests(t *testing.T) {
+	var p RequestParser
+	raw := "GET /a HTTP/1.1\r\nHost: h\r\n\r\nGET /b HTTP/1.1\r\nHost: h\r\n\r\n"
+	reqs := feedAll(t, &p, []byte(raw))
+	if len(reqs) != 2 || reqs[0].Target != "/a" || reqs[1].Target != "/b" {
+		t.Fatalf("pipelined parse failed: %d requests", len(reqs))
+	}
+}
+
+func TestParseChunkedRequestBody(t *testing.T) {
+	var p RequestParser
+	raw := "POST /u HTTP/1.1\r\nHost: h\r\nTransfer-Encoding: chunked\r\n\r\n" +
+		"5\r\nhello\r\n6\r\n world\r\n0\r\n\r\n"
+	reqs := feedAll(t, &p, []byte(raw))
+	if len(reqs) != 1 {
+		t.Fatalf("got %d requests, want 1", len(reqs))
+	}
+	if string(reqs[0].Body) != "hello world" {
+		t.Fatalf("chunked body = %q", reqs[0].Body)
+	}
+}
+
+func TestParseChunkExtensionAndTrailer(t *testing.T) {
+	var p ResponseParser
+	p.ExpectMethod("GET")
+	raw := "HTTP/1.1 200 OK\r\nTransfer-Encoding: chunked\r\n\r\n" +
+		"4;ext=1\r\nwiki\r\n0\r\nX-Trailer: v\r\n\r\n"
+	resps, err := p.Feed([]byte(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resps) != 1 || string(resps[0].Body) != "wiki" {
+		t.Fatalf("resps = %v", resps)
+	}
+	// Chunked re-framed as Content-Length.
+	if resps[0].Header.Get("Content-Length") != "4" || resps[0].Header.Has("Transfer-Encoding") {
+		t.Fatalf("reframing failed: %+v", resps[0].Header)
+	}
+}
+
+func TestParseResponseBodyless(t *testing.T) {
+	var p ResponseParser
+	for _, m := range []string{"GET", "GET", "GET"} {
+		p.ExpectMethod(m)
+	}
+	raw := "HTTP/1.1 304 Not Modified\r\nETag: \"x\"\r\n\r\n" +
+		"HTTP/1.1 204 No Content\r\n\r\n" +
+		"HTTP/1.1 100 Continue\r\n\r\n"
+	resps, err := p.Feed([]byte(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resps) != 3 {
+		t.Fatalf("got %d responses, want 3", len(resps))
+	}
+	for _, r := range resps {
+		if len(r.Body) != 0 {
+			t.Fatalf("bodyless response %d has body %q", r.StatusCode, r.Body)
+		}
+	}
+}
+
+func TestParseHeadResponseHasNoBody(t *testing.T) {
+	var p ResponseParser
+	p.ExpectMethod("HEAD")
+	p.ExpectMethod("GET")
+	raw := "HTTP/1.1 200 OK\r\nContent-Length: 10\r\n\r\n" + // HEAD: no body despite CL
+		"HTTP/1.1 200 OK\r\nContent-Length: 2\r\n\r\nok"
+	resps, err := p.Feed([]byte(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resps) != 2 {
+		t.Fatalf("got %d responses, want 2", len(resps))
+	}
+	if len(resps[0].Body) != 0 {
+		t.Fatalf("HEAD response has body %q", resps[0].Body)
+	}
+	if string(resps[1].Body) != "ok" {
+		t.Fatalf("second body = %q", resps[1].Body)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"NOT A REQUEST\r\n\r\n",
+		"GET /\r\n\r\n",
+		"GET / FTP/1.0\r\nHost: h\r\n\r\n",
+		"GET / HTTP/1.1\r\nBad Header Line\r\n\r\n",
+		"GET / HTTP/1.1\r\nBad Name: v\r\n\r\n",
+		"POST / HTTP/1.1\r\nContent-Length: -5\r\n\r\n",
+		"POST / HTTP/1.1\r\nContent-Length: xyz\r\n\r\n",
+	}
+	for _, raw := range cases {
+		var p RequestParser
+		if _, err := p.Feed([]byte(raw)); err == nil {
+			t.Errorf("accepted malformed request %q", raw)
+		}
+	}
+}
+
+func TestParseResponseErrors(t *testing.T) {
+	cases := []string{
+		"HTTP/1.1 abc OK\r\n\r\n",
+		"HTTP/1.1 99 Too Low\r\n\r\n",
+		"HTTP/1.1 600 Too High\r\n\r\n",
+		"NOTHTTP 200 OK\r\n\r\n",
+		"HTTP/1.1 200 OK\r\nTransfer-Encoding: gzip\r\n\r\n",
+	}
+	for _, raw := range cases {
+		var p ResponseParser
+		p.ExpectMethod("GET")
+		if _, err := p.Feed([]byte(raw)); err == nil {
+			t.Errorf("accepted malformed response %q", raw)
+		}
+	}
+}
+
+func TestBadChunkSize(t *testing.T) {
+	var p ResponseParser
+	p.ExpectMethod("GET")
+	raw := "HTTP/1.1 200 OK\r\nTransfer-Encoding: chunked\r\n\r\nZZZ\r\n"
+	if _, err := p.Feed([]byte(raw)); err == nil {
+		t.Fatal("accepted garbage chunk size")
+	}
+}
+
+func TestRequestMarshalRoundTrip(t *testing.T) {
+	req := &Request{Method: "POST", Target: "/api/v1?k=v", Proto: "HTTP/1.1"}
+	req.Header.Add("Host", "api.example.com")
+	req.Header.Add("Content-Length", "4")
+	req.Header.Add("X-Custom", "abc")
+	req.Body = []byte("data")
+
+	var p RequestParser
+	reqs, err := p.Feed(req.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reqs) != 1 {
+		t.Fatalf("round trip produced %d requests", len(reqs))
+	}
+	got := reqs[0]
+	if got.Method != req.Method || got.Target != req.Target || string(got.Body) != "data" {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+	if got.Header.Get("x-custom") != "abc" {
+		t.Fatalf("case-insensitive Get failed")
+	}
+	if !bytes.Equal(got.Marshal(), req.Marshal()) {
+		t.Fatalf("re-marshal differs:\n%q\n%q", got.Marshal(), req.Marshal())
+	}
+}
+
+func TestResponseMarshalRoundTrip(t *testing.T) {
+	resp := &Response{Proto: "HTTP/1.1", StatusCode: 200, Reason: "OK"}
+	resp.Header.Add("Content-Type", "text/html")
+	resp.Header.Add("Content-Length", "11")
+	resp.Body = []byte("hello world")
+
+	var p ResponseParser
+	p.ExpectMethod("GET")
+	resps, err := p.Feed(resp.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resps) != 1 || string(resps[0].Body) != "hello world" {
+		t.Fatalf("round trip failed: %v", resps)
+	}
+	if !bytes.Equal(resps[0].Marshal(), resp.Marshal()) {
+		t.Fatal("re-marshal differs")
+	}
+}
+
+// Property: any printable body round-trips through marshal+parse.
+func TestBodyRoundTripProperty(t *testing.T) {
+	f := func(body []byte) bool {
+		resp := &Response{Proto: "HTTP/1.1", StatusCode: 200, Reason: "OK"}
+		resp.Header.Add("Content-Length", fmt.Sprint(len(body)))
+		resp.Body = body
+		var p ResponseParser
+		p.ExpectMethod("GET")
+		resps, err := p.Feed(resp.Marshal())
+		return err == nil && len(resps) == 1 && bytes.Equal(resps[0].Body, body)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: splitting the wire bytes at any point yields the same parse.
+func TestSplitInvarianceProperty(t *testing.T) {
+	raw := []byte("GET /a HTTP/1.1\r\nHost: h\r\n\r\nPOST /b HTTP/1.1\r\nHost: h\r\nContent-Length: 3\r\n\r\nxyz")
+	f := func(cut uint16) bool {
+		i := int(cut) % len(raw)
+		var p RequestParser
+		r1, err1 := p.Feed(raw[:i])
+		r2, err2 := p.Feed(raw[i:])
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		all := append(r1, r2...)
+		return len(all) == 2 && all[0].Target == "/a" && all[1].Target == "/b" &&
+			string(all[1].Body) == "xyz"
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHeaderOps(t *testing.T) {
+	var h Header
+	h.Add("Accept", "text/html")
+	h.Add("accept", "image/png")
+	if h.Get("ACCEPT") != "text/html" {
+		t.Fatalf("Get returned %q", h.Get("ACCEPT"))
+	}
+	h.Set("Accept", "*/*")
+	if h.Len() != 1 || h.Get("accept") != "*/*" {
+		t.Fatalf("Set failed: %+v", h)
+	}
+	h.Add("X-A", "1")
+	h.Del("accept")
+	if h.Has("Accept") || !h.Has("x-a") {
+		t.Fatalf("Del failed: %+v", h)
+	}
+	h.Set("New", "v")
+	if h.Get("new") != "v" {
+		t.Fatal("Set-as-append failed")
+	}
+}
+
+func TestHeaderNamesSortedDistinct(t *testing.T) {
+	var h Header
+	h.Add("Zeta", "1")
+	h.Add("alpha", "2")
+	h.Add("ALPHA", "3")
+	names := h.Names()
+	if len(names) != 2 || names[0] != "alpha" || names[1] != "zeta" {
+		t.Fatalf("Names = %v", names)
+	}
+}
+
+func TestHeaderCloneIndependent(t *testing.T) {
+	var h Header
+	h.Add("A", "1")
+	c := h.Clone()
+	c.Set("A", "2")
+	if h.Get("A") != "1" {
+		t.Fatal("Clone shares storage")
+	}
+}
+
+func TestRequestCloneIndependent(t *testing.T) {
+	r := &Request{Method: "GET", Target: "/", Proto: "HTTP/1.1", Body: []byte("b")}
+	r.Header.Add("H", "v")
+	c := r.Clone()
+	c.Body[0] = 'x'
+	c.Header.Set("H", "w")
+	if string(r.Body) != "b" || r.Header.Get("H") != "v" {
+		t.Fatal("Clone shares storage")
+	}
+}
+
+func TestStatusText(t *testing.T) {
+	if StatusText(200) != "OK" || StatusText(404) != "Not Found" {
+		t.Fatal("common codes wrong")
+	}
+	if StatusText(599) != "Unknown" {
+		t.Fatal("unknown code wrong")
+	}
+}
+
+func TestLargeBodyAcrossManyChunks(t *testing.T) {
+	// 100 KB body delivered in 1460-byte segments, chunked encoding.
+	body := strings.Repeat("abcdefgh", 12800)
+	var wire bytes.Buffer
+	wire.WriteString("HTTP/1.1 200 OK\r\nTransfer-Encoding: chunked\r\n\r\n")
+	for i := 0; i < len(body); i += 4096 {
+		end := i + 4096
+		if end > len(body) {
+			end = len(body)
+		}
+		fmt.Fprintf(&wire, "%x\r\n%s\r\n", end-i, body[i:end])
+	}
+	wire.WriteString("0\r\n\r\n")
+
+	var p ResponseParser
+	p.ExpectMethod("GET")
+	var got []*Response
+	raw := wire.Bytes()
+	for i := 0; i < len(raw); i += 1460 {
+		end := i + 1460
+		if end > len(raw) {
+			end = len(raw)
+		}
+		resps, err := p.Feed(raw[i:end])
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, resps...)
+	}
+	if len(got) != 1 || string(got[0].Body) != body {
+		t.Fatalf("large chunked parse failed: %d responses", len(got))
+	}
+}
+
+func TestContentLengthTooLarge(t *testing.T) {
+	var p ResponseParser
+	p.ExpectMethod("GET")
+	raw := fmt.Sprintf("HTTP/1.1 200 OK\r\nContent-Length: %d\r\n\r\n", MaxBodySize+1)
+	if _, err := p.Feed([]byte(raw)); err == nil {
+		t.Fatal("oversized content-length accepted")
+	}
+}
+
+func TestResponseNoFramingNoBody(t *testing.T) {
+	var p ResponseParser
+	p.ExpectMethod("GET")
+	resps, err := p.Feed([]byte("HTTP/1.1 200 OK\r\nServer: s\r\n\r\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resps) != 1 || len(resps[0].Body) != 0 {
+		t.Fatalf("unframed response: %v", resps)
+	}
+}

@@ -1,0 +1,375 @@
+package httpx
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Parse errors.
+var (
+	ErrMalformed   = errors.New("httpx: malformed message")
+	ErrBodyTooLong = errors.New("httpx: body exceeds limit")
+)
+
+// MaxBodySize bounds a single message body, protecting the simulator from
+// runaway Content-Lengths.
+const MaxBodySize = 256 << 20
+
+// parsePhase is the incremental parser's state.
+type parsePhase int
+
+const (
+	phaseHead parsePhase = iota
+	phaseBodyLength
+	phaseBodyChunkSize
+	phaseBodyChunkData
+	phaseBodyChunkTrailer
+)
+
+// RequestParser incrementally parses a stream of pipelined HTTP/1.1
+// requests. Feed it raw bytes as they arrive; it emits complete requests.
+type RequestParser struct {
+	buf     bytes.Buffer
+	phase   parsePhase
+	cur     *Request
+	need    int // bytes outstanding for fixed-length or chunk bodies
+	chunked bytes.Buffer
+}
+
+// Feed appends data and returns any requests completed by it.
+func (p *RequestParser) Feed(data []byte) ([]*Request, error) {
+	p.buf.Write(data)
+	var out []*Request
+	for {
+		switch p.phase {
+		case phaseHead:
+			head, rest, ok := cutHead(p.buf.Bytes())
+			if !ok {
+				return out, nil
+			}
+			req, err := parseRequestHead(head)
+			if err != nil {
+				return out, err
+			}
+			p.consumeTo(rest)
+			p.cur = req
+			n, chunked, err := bodyLength(&req.Header, true, 0)
+			if err != nil {
+				return out, err
+			}
+			switch {
+			case chunked:
+				p.phase = phaseBodyChunkSize
+			case n > 0:
+				p.need = n
+				p.phase = phaseBodyLength
+			default:
+				out = append(out, p.finishRequest())
+			}
+		case phaseBodyLength:
+			if p.buf.Len() < p.need {
+				return out, nil
+			}
+			p.cur.Body = append(p.cur.Body, p.buf.Next(p.need)...)
+			p.need = 0
+			out = append(out, p.finishRequest())
+		case phaseBodyChunkSize, phaseBodyChunkData, phaseBodyChunkTrailer:
+			done, ok, err := stepChunk(&p.buf, &p.phase, &p.need, &p.chunked)
+			if err != nil {
+				return out, err
+			}
+			if !ok {
+				return out, nil
+			}
+			if done {
+				p.cur.Body = append(p.cur.Body, p.chunked.Bytes()...)
+				p.chunked.Reset()
+				out = append(out, p.finishRequest())
+			}
+		}
+	}
+}
+
+func (p *RequestParser) finishRequest() *Request {
+	req := p.cur
+	p.cur = nil
+	p.phase = phaseHead
+	return req
+}
+
+func (p *RequestParser) consumeTo(rest []byte) {
+	n := p.buf.Len() - len(rest)
+	p.buf.Next(n)
+}
+
+// ResponseParser incrementally parses a stream of HTTP/1.1 responses on one
+// connection. Because response framing depends on the request (HEAD
+// responses carry no body), the caller must announce each outstanding
+// request's method with ExpectMethod, in order.
+type ResponseParser struct {
+	buf     bytes.Buffer
+	phase   parsePhase
+	cur     *Response
+	need    int
+	chunked bytes.Buffer
+	methods []string // FIFO of outstanding request methods
+}
+
+// ExpectMethod queues the method of the next outstanding request, so HEAD
+// responses are framed correctly.
+func (p *ResponseParser) ExpectMethod(m string) {
+	p.methods = append(p.methods, m)
+}
+
+func (p *ResponseParser) nextMethod() string {
+	if len(p.methods) == 0 {
+		return "GET"
+	}
+	m := p.methods[0]
+	p.methods = p.methods[1:]
+	return m
+}
+
+// Feed appends data and returns any responses completed by it.
+func (p *ResponseParser) Feed(data []byte) ([]*Response, error) {
+	p.buf.Write(data)
+	var out []*Response
+	for {
+		switch p.phase {
+		case phaseHead:
+			head, rest, ok := cutHead(p.buf.Bytes())
+			if !ok {
+				return out, nil
+			}
+			resp, err := parseResponseHead(head)
+			if err != nil {
+				return out, err
+			}
+			p.consumeTo(rest)
+			p.cur = resp
+			method := p.nextMethod()
+			n, chunked, err := bodyLength(&resp.Header, false, resp.StatusCode)
+			if err != nil {
+				return out, err
+			}
+			if method == "HEAD" {
+				n, chunked = 0, false
+			}
+			switch {
+			case chunked:
+				p.phase = phaseBodyChunkSize
+			case n > 0:
+				p.need = n
+				p.phase = phaseBodyLength
+			default:
+				out = append(out, p.finishResponse())
+			}
+		case phaseBodyLength:
+			if p.buf.Len() < p.need {
+				return out, nil
+			}
+			p.cur.Body = append(p.cur.Body, p.buf.Next(p.need)...)
+			p.need = 0
+			out = append(out, p.finishResponse())
+		case phaseBodyChunkSize, phaseBodyChunkData, phaseBodyChunkTrailer:
+			done, ok, err := stepChunk(&p.buf, &p.phase, &p.need, &p.chunked)
+			if err != nil {
+				return out, err
+			}
+			if !ok {
+				return out, nil
+			}
+			if done {
+				p.cur.Body = append(p.cur.Body, p.chunked.Bytes()...)
+				p.chunked.Reset()
+				// Replace chunked framing with explicit length so the
+				// stored message re-serializes deterministically.
+				p.cur.Header.Del("Transfer-Encoding")
+				p.cur.Header.Set("Content-Length", strconv.Itoa(len(p.cur.Body)))
+				out = append(out, p.finishResponse())
+			}
+		}
+	}
+}
+
+func (p *ResponseParser) finishResponse() *Response {
+	resp := p.cur
+	p.cur = nil
+	p.phase = phaseHead
+	return resp
+}
+
+func (p *ResponseParser) consumeTo(rest []byte) {
+	n := p.buf.Len() - len(rest)
+	p.buf.Next(n)
+}
+
+// cutHead splits buf at the end of the header block (CRLFCRLF). ok is false
+// if the block is incomplete.
+func cutHead(buf []byte) (head, rest []byte, ok bool) {
+	i := bytes.Index(buf, []byte("\r\n\r\n"))
+	if i < 0 {
+		return nil, nil, false
+	}
+	return buf[:i], buf[i+4:], true
+}
+
+// parseRequestHead parses a request line plus header block.
+func parseRequestHead(head []byte) (*Request, error) {
+	lines := strings.Split(string(head), "\r\n")
+	if len(lines) == 0 {
+		return nil, fmt.Errorf("%w: empty head", ErrMalformed)
+	}
+	parts := strings.SplitN(lines[0], " ", 3)
+	if len(parts) != 3 || parts[0] == "" || parts[1] == "" {
+		return nil, fmt.Errorf("%w: request line %q", ErrMalformed, lines[0])
+	}
+	if !strings.HasPrefix(parts[2], "HTTP/") {
+		return nil, fmt.Errorf("%w: bad version %q", ErrMalformed, parts[2])
+	}
+	req := &Request{Method: parts[0], Target: parts[1], Proto: parts[2], Scheme: "http"}
+	if err := parseFields(lines[1:], &req.Header); err != nil {
+		return nil, err
+	}
+	return req, nil
+}
+
+// parseResponseHead parses a status line plus header block.
+func parseResponseHead(head []byte) (*Response, error) {
+	lines := strings.Split(string(head), "\r\n")
+	if len(lines) == 0 {
+		return nil, fmt.Errorf("%w: empty head", ErrMalformed)
+	}
+	parts := strings.SplitN(lines[0], " ", 3)
+	if len(parts) < 2 || !strings.HasPrefix(parts[0], "HTTP/") {
+		return nil, fmt.Errorf("%w: status line %q", ErrMalformed, lines[0])
+	}
+	code, err := strconv.Atoi(parts[1])
+	if err != nil || code < 100 || code > 599 {
+		return nil, fmt.Errorf("%w: status code %q", ErrMalformed, parts[1])
+	}
+	reason := ""
+	if len(parts) == 3 {
+		reason = parts[2]
+	}
+	resp := &Response{Proto: parts[0], StatusCode: code, Reason: reason}
+	if err := parseFields(lines[1:], &resp.Header); err != nil {
+		return nil, err
+	}
+	return resp, nil
+}
+
+func parseFields(lines []string, h *Header) error {
+	for _, line := range lines {
+		if line == "" {
+			continue
+		}
+		i := strings.IndexByte(line, ':')
+		if i <= 0 {
+			return fmt.Errorf("%w: header line %q", ErrMalformed, line)
+		}
+		name := line[:i]
+		if strings.ContainsAny(name, " \t") {
+			return fmt.Errorf("%w: space in field name %q", ErrMalformed, name)
+		}
+		h.Add(name, strings.TrimSpace(line[i+1:]))
+	}
+	return nil
+}
+
+// bodyLength determines message framing from headers: explicit length,
+// chunked, or none. isRequest selects request defaults (no body unless
+// declared). statusCode handles bodyless response codes.
+func bodyLength(h *Header, isRequest bool, statusCode int) (n int, chunked bool, err error) {
+	if !isRequest && (statusCode/100 == 1 || statusCode == 204 || statusCode == 304) {
+		return 0, false, nil
+	}
+	if te := h.Get("Transfer-Encoding"); te != "" {
+		if strings.EqualFold(te, "chunked") {
+			return 0, true, nil
+		}
+		return 0, false, fmt.Errorf("%w: transfer-encoding %q", ErrMalformed, te)
+	}
+	if cl := h.Get("Content-Length"); cl != "" {
+		v, err := strconv.Atoi(strings.TrimSpace(cl))
+		if err != nil || v < 0 {
+			return 0, false, fmt.Errorf("%w: content-length %q", ErrMalformed, cl)
+		}
+		if v > MaxBodySize {
+			return 0, false, ErrBodyTooLong
+		}
+		return v, false, nil
+	}
+	// No framing headers: no body. (Read-until-close responses are not
+	// produced by this toolkit's servers.)
+	return 0, false, nil
+}
+
+// stepChunk advances chunked-body parsing by one state transition.
+// done reports a complete body; ok reports whether progress was possible.
+func stepChunk(buf *bytes.Buffer, phase *parsePhase, need *int, body *bytes.Buffer) (done, ok bool, err error) {
+	switch *phase {
+	case phaseBodyChunkSize:
+		line, found := takeLine(buf)
+		if !found {
+			return false, false, nil
+		}
+		// Chunk extensions after ';' are ignored per RFC 7230.
+		if i := strings.IndexByte(line, ';'); i >= 0 {
+			line = line[:i]
+		}
+		size, perr := strconv.ParseInt(strings.TrimSpace(line), 16, 32)
+		if perr != nil || size < 0 {
+			return false, false, fmt.Errorf("%w: chunk size %q", ErrMalformed, line)
+		}
+		if body.Len()+int(size) > MaxBodySize {
+			return false, false, ErrBodyTooLong
+		}
+		if size == 0 {
+			*phase = phaseBodyChunkTrailer
+			return false, true, nil
+		}
+		*need = int(size)
+		*phase = phaseBodyChunkData
+		return false, true, nil
+	case phaseBodyChunkData:
+		if buf.Len() < *need+2 { // data + CRLF
+			return false, false, nil
+		}
+		body.Write(buf.Next(*need))
+		crlf := buf.Next(2)
+		if !bytes.Equal(crlf, []byte("\r\n")) {
+			return false, false, fmt.Errorf("%w: chunk not CRLF-terminated", ErrMalformed)
+		}
+		*need = 0
+		*phase = phaseBodyChunkSize
+		return false, true, nil
+	case phaseBodyChunkTrailer:
+		line, found := takeLine(buf)
+		if !found {
+			return false, false, nil
+		}
+		if line == "" {
+			*phase = phaseHead
+			return true, true, nil
+		}
+		// Trailer field: ignored.
+		return false, true, nil
+	}
+	return false, false, fmt.Errorf("%w: bad chunk state", ErrMalformed)
+}
+
+// takeLine removes and returns one CRLF-terminated line (without CRLF).
+func takeLine(buf *bytes.Buffer) (string, bool) {
+	b := buf.Bytes()
+	i := bytes.Index(b, []byte("\r\n"))
+	if i < 0 {
+		return "", false
+	}
+	line := string(b[:i])
+	buf.Next(i + 2)
+	return line, true
+}

@@ -1,0 +1,114 @@
+package inet
+
+import (
+	"testing"
+
+	"repro/internal/browser"
+	"repro/internal/nsim"
+	"repro/internal/shells"
+	"repro/internal/sim"
+	"repro/internal/tcpsim"
+	"repro/internal/webgen"
+)
+
+var appAddr = nsim.ParseAddr("100.64.0.2")
+
+func testPage() *webgen.Page {
+	return webgen.GeneratePage(sim.NewRand(23), webgen.Profile{
+		Name: "www.live.com", Servers: 6, Resources: 20,
+		HTMLSize: 15 << 10, MedianObject: 5 << 10, SigmaObject: 0.6,
+		CPUPerKB: 10 * sim.Microsecond,
+	})
+}
+
+func loadLive(t *testing.T, cfg Config) browser.Result {
+	t.Helper()
+	loop := sim.NewLoop()
+	network := nsim.NewNetwork(loop)
+	web, err := New(network, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := shells.Build(network, web.NS, appAddr, shells.NewDelayShell(10*sim.Millisecond))
+	b := browser.New(tcpsim.NewStack(st.App), web.Resolver, appAddr, browser.DefaultOptions())
+	var result browser.Result
+	got := false
+	b.Load(cfg.Page, func(r browser.Result) { result = r; got = true })
+	loop.Run()
+	if !got {
+		t.Fatal("live load never completed")
+	}
+	return result
+}
+
+func TestNilPageRejected(t *testing.T) {
+	if _, err := New(nsim.NewNetwork(sim.NewLoop()), Config{}); err == nil {
+		t.Fatal("nil page accepted")
+	}
+}
+
+func TestLiveLoadCompletes(t *testing.T) {
+	page := testPage()
+	r := loadLive(t, DefaultConfig(page, 1))
+	if r.Errors != 0 || r.Resources != len(page.Resources) {
+		t.Fatalf("live load: %d errors, %d resources", r.Errors, r.Resources)
+	}
+	if r.Bytes != page.TotalBytes() {
+		t.Fatalf("bytes %d, want %d", r.Bytes, page.TotalBytes())
+	}
+}
+
+func TestThinkTimeSlowsLoads(t *testing.T) {
+	page := testPage()
+	fast := loadLive(t, Config{Page: page, Seed: 1})
+	slow := loadLive(t, Config{
+		Page: page, Seed: 1, ThinkMedian: 50 * sim.Millisecond,
+	})
+	if slow.PLT <= fast.PLT {
+		t.Fatalf("think time did not slow load: %v vs %v", slow.PLT, fast.PLT)
+	}
+}
+
+func TestSeedVariesPLT(t *testing.T) {
+	page := testPage()
+	a := loadLive(t, DefaultConfig(page, 1))
+	b := loadLive(t, DefaultConfig(page, 2))
+	if a.PLT == b.PLT {
+		t.Fatal("different live-web seeds produced identical PLTs")
+	}
+}
+
+func TestSameSeedReproduces(t *testing.T) {
+	page := testPage()
+	a := loadLive(t, DefaultConfig(page, 7))
+	b := loadLive(t, DefaultConfig(page, 7))
+	if a.PLT != b.PLT {
+		t.Fatalf("same seed produced %v vs %v", a.PLT, b.PLT)
+	}
+}
+
+func TestOriginSpreadAddsPerOriginDelay(t *testing.T) {
+	page := testPage()
+	flat := loadLive(t, Config{Page: page, Seed: 3})
+	spread := loadLive(t, Config{Page: page, Seed: 3, OriginSpread: 80 * sim.Millisecond})
+	if spread.PLT <= flat.PLT {
+		t.Fatalf("origin spread did not slow load: %v vs %v", spread.PLT, flat.PLT)
+	}
+}
+
+func TestRequestsServedCounted(t *testing.T) {
+	page := testPage()
+	loop := sim.NewLoop()
+	network := nsim.NewNetwork(loop)
+	web, err := New(network, Config{Page: page, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := shells.Build(network, web.NS, appAddr)
+	b := browser.New(tcpsim.NewStack(st.App), web.Resolver, appAddr, browser.DefaultOptions())
+	b.Load(page, func(browser.Result) {})
+	loop.Run()
+	if web.RequestsServed != uint64(len(page.Resources)) {
+		t.Fatalf("RequestsServed = %d, want %d", web.RequestsServed, len(page.Resources))
+	}
+}

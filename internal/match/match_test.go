@@ -1,0 +1,195 @@
+package match
+
+import (
+	"strconv"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/archive"
+	"repro/internal/httpx"
+	"repro/internal/nsim"
+)
+
+func exch(method, host, target, body string) *archive.Exchange {
+	req := &httpx.Request{Method: method, Target: target, Proto: "HTTP/1.1", Scheme: "http"}
+	req.Header.Add("Host", host)
+	resp := &httpx.Response{Proto: "HTTP/1.1", StatusCode: 200, Reason: "OK"}
+	resp.Header.Add("Content-Length", strconv.Itoa(len(body)))
+	resp.Body = []byte(body)
+	return &archive.Exchange{
+		Server:  nsim.AddrPort{Addr: nsim.ParseAddr("1.1.1.1"), Port: 80},
+		Scheme:  "http",
+		Request: req, Response: resp,
+	}
+}
+
+func get(host, target string) *httpx.Request {
+	req := &httpx.Request{Method: "GET", Target: target, Proto: "HTTP/1.1", Scheme: "http"}
+	req.Header.Add("Host", host)
+	return req
+}
+
+func TestExactMatch(t *testing.T) {
+	m := New(&archive.Site{Exchanges: []*archive.Exchange{
+		exch("GET", "a.com", "/x?q=1", "one"),
+		exch("GET", "a.com", "/x?q=2", "two"),
+	}})
+	resp, ok := m.Lookup(get("a.com", "/x?q=2"))
+	if !ok || string(resp.Body) != "two" {
+		t.Fatalf("exact match failed: %v %q", ok, resp.Body)
+	}
+	exact, _, _ := m.Stats()
+	if exact != 1 {
+		t.Fatalf("exact count = %d", exact)
+	}
+}
+
+func TestLongestQueryPrefixWins(t *testing.T) {
+	m := New(&archive.Site{Exchanges: []*archive.Exchange{
+		exch("GET", "a.com", "/x?session=abc&t=111", "first"),
+		exch("GET", "a.com", "/x?session=abc&u=222", "second"),
+		exch("GET", "a.com", "/x?other=zzz", "third"),
+	}})
+	// No exact match; longest common query prefix is with "session=abc&t=..."
+	resp, ok := m.Lookup(get("a.com", "/x?session=abc&t=999"))
+	if !ok || string(resp.Body) != "first" {
+		t.Fatalf("prefix match: %v %q, want first", ok, resp.Body)
+	}
+	_, prefix, _ := m.Stats()
+	if prefix != 1 {
+		t.Fatalf("prefix count = %d", prefix)
+	}
+}
+
+func TestPathMustMatchExactly(t *testing.T) {
+	m := New(&archive.Site{Exchanges: []*archive.Exchange{
+		exch("GET", "a.com", "/x/page?q=1", "x"),
+	}})
+	if _, ok := m.Lookup(get("a.com", "/x/other?q=1")); ok {
+		t.Fatal("different path matched")
+	}
+	if _, ok := m.Lookup(get("a.com", "/x/page?zzz=9")); !ok {
+		t.Fatal("same path different query missed")
+	}
+}
+
+func TestHostMustMatch(t *testing.T) {
+	m := New(&archive.Site{Exchanges: []*archive.Exchange{
+		exch("GET", "a.com", "/x", "x"),
+	}})
+	if _, ok := m.Lookup(get("b.com", "/x")); ok {
+		t.Fatal("different host matched")
+	}
+}
+
+func TestMethodMustMatch(t *testing.T) {
+	m := New(&archive.Site{Exchanges: []*archive.Exchange{
+		exch("POST", "a.com", "/x", "posted"),
+	}})
+	if _, ok := m.Lookup(get("a.com", "/x")); ok {
+		t.Fatal("GET matched a recorded POST")
+	}
+}
+
+func TestSchemeMustMatch(t *testing.T) {
+	e := exch("GET", "a.com", "/x", "secure")
+	e.Scheme = "https"
+	m := New(&archive.Site{Exchanges: []*archive.Exchange{e}})
+	req := get("a.com", "/x") // http
+	if _, ok := m.Lookup(req); ok {
+		t.Fatal("http request matched https recording")
+	}
+	req.Scheme = "https"
+	if _, ok := m.Lookup(req); !ok {
+		t.Fatal("https request missed https recording")
+	}
+}
+
+func TestMissReturns404(t *testing.T) {
+	m := New(&archive.Site{})
+	resp := m.LookupOr404(get("a.com", "/nope"))
+	if resp.StatusCode != 404 {
+		t.Fatalf("miss status = %d", resp.StatusCode)
+	}
+	if resp.Header.Get("Content-Length") == "" {
+		t.Fatal("404 missing content-length")
+	}
+	_, _, miss := m.Stats()
+	if miss != 1 {
+		t.Fatalf("miss count = %d", miss)
+	}
+}
+
+func TestEmptySchemeDefaultsHTTP(t *testing.T) {
+	m := New(&archive.Site{Exchanges: []*archive.Exchange{
+		exch("GET", "a.com", "/x", "body"),
+	}})
+	req := get("a.com", "/x")
+	req.Scheme = ""
+	if _, ok := m.Lookup(req); !ok {
+		t.Fatal("empty scheme did not default to http")
+	}
+}
+
+func TestLenCountsExchanges(t *testing.T) {
+	m := New(&archive.Site{Exchanges: []*archive.Exchange{
+		exch("GET", "a.com", "/1", "x"),
+		exch("GET", "a.com", "/2", "x"),
+		exch("GET", "b.com", "/1", "x"),
+	}})
+	if m.Len() != 3 {
+		t.Fatalf("Len = %d", m.Len())
+	}
+}
+
+func TestCommonPrefixLen(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want int
+	}{
+		{"", "", 0},
+		{"abc", "abc", 3},
+		{"abc", "abd", 2},
+		{"abc", "xyz", 0},
+		{"ab", "abcd", 2},
+	}
+	for _, c := range cases {
+		if got := commonPrefixLen(c.a, c.b); got != c.want {
+			t.Errorf("commonPrefixLen(%q,%q) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+// Properties: commutativity and bounds of the prefix length.
+func TestCommonPrefixProperty(t *testing.T) {
+	f := func(a, b string) bool {
+		l := commonPrefixLen(a, b)
+		if l != commonPrefixLen(b, a) {
+			return false
+		}
+		if l > len(a) || l > len(b) {
+			return false
+		}
+		return a[:l] == b[:l]
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a recorded request always matches itself exactly.
+func TestSelfMatchProperty(t *testing.T) {
+	f := func(pathSeed, querySeed uint8) bool {
+		target := "/p" + strconv.Itoa(int(pathSeed))
+		if querySeed > 0 {
+			target += "?q=" + strconv.Itoa(int(querySeed))
+		}
+		e := exch("GET", "self.com", target, "body")
+		m := New(&archive.Site{Exchanges: []*archive.Exchange{e}})
+		resp, ok := m.Lookup(e.Request)
+		return ok && string(resp.Body) == "body"
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

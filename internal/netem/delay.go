@@ -1,0 +1,256 @@
+package netem
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// DelayBox releases every packet exactly one fixed one-way delay after it
+// arrives, as DelayShell does (paper §2): "Each packet is released from the
+// queue after the user-specified one-way delay, enforcing a fixed per-packet
+// delay."
+//
+// Because the delay is identical for every packet, delivery is FIFO; the box
+// nevertheless keeps an explicit queue so its occupancy can be observed, and
+// so that the ablation bench can compare against a heap-based variant.
+type DelayBox struct {
+	loop  *sim.Loop
+	delay sim.Time
+	sink  Sink
+	stats BoxStats
+}
+
+// NewDelayBox returns a fixed one-way-delay box. A zero delay degenerates to
+// a Wire with one event-loop hop (DelayShell 0 ms in Figure 2).
+func NewDelayBox(loop *sim.Loop, delay sim.Time) *DelayBox {
+	if delay < 0 {
+		panic(fmt.Sprintf("netem: negative delay %v", delay))
+	}
+	return &DelayBox{loop: loop, delay: delay}
+}
+
+// Delay reports the configured one-way delay.
+func (d *DelayBox) Delay() sim.Time { return d.delay }
+
+// Send implements Box.
+func (d *DelayBox) Send(pkt *Packet) {
+	if d.sink == nil {
+		panic("netem: DelayBox.Send before SetSink")
+	}
+	d.stats.Arrived++
+	d.stats.ArrivedBytes += uint64(pkt.Size)
+	d.stats.QueueLen++
+	d.stats.QueueBytes += pkt.Size
+	if d.stats.QueueLen > d.stats.MaxQueueLen {
+		d.stats.MaxQueueLen = d.stats.QueueLen
+	}
+	pkt.Sent = d.loop.Now()
+	d.loop.Schedule(d.delay, func(sim.Time) {
+		d.stats.QueueLen--
+		d.stats.QueueBytes -= pkt.Size
+		d.stats.Delivered++
+		d.stats.DeliveredBytes += uint64(pkt.Size)
+		d.sink(pkt)
+	})
+}
+
+// SetSink implements Box.
+func (d *DelayBox) SetSink(sink Sink) { d.sink = sink }
+
+// Stats implements Box.
+func (d *DelayBox) Stats() BoxStats { return d.stats }
+
+// FIFODelayBox implements the same fixed one-way delay as DelayBox but
+// keeps its own FIFO and arms only one timer (for the head packet's
+// release) instead of scheduling one event per packet. Mahimahi's
+// DelayShell works this way — one queue per direction, woken at the head's
+// release time. Behaviour is identical for a fixed delay; the ablation
+// bench in the repository root compares the two implementations'
+// event-loop load.
+type FIFODelayBox struct {
+	loop  *sim.Loop
+	delay sim.Time
+	sink  Sink
+	queue []fifoEntry
+	head  int
+	armed bool
+	stats BoxStats
+}
+
+type fifoEntry struct {
+	pkt     *Packet
+	release sim.Time
+}
+
+// NewFIFODelayBox returns a fixed one-way-delay box with single-timer
+// scheduling.
+func NewFIFODelayBox(loop *sim.Loop, delay sim.Time) *FIFODelayBox {
+	if delay < 0 {
+		panic(fmt.Sprintf("netem: negative delay %v", delay))
+	}
+	return &FIFODelayBox{loop: loop, delay: delay}
+}
+
+// Send implements Box.
+func (d *FIFODelayBox) Send(pkt *Packet) {
+	if d.sink == nil {
+		panic("netem: FIFODelayBox.Send before SetSink")
+	}
+	d.stats.Arrived++
+	d.stats.ArrivedBytes += uint64(pkt.Size)
+	d.queue = append(d.queue, fifoEntry{pkt: pkt, release: d.loop.Now() + d.delay})
+	if n := len(d.queue) - d.head; n > d.stats.MaxQueueLen {
+		d.stats.MaxQueueLen = n
+	}
+	d.arm()
+}
+
+func (d *FIFODelayBox) arm() {
+	if d.armed || d.head >= len(d.queue) {
+		return
+	}
+	d.armed = true
+	head := d.queue[d.head]
+	d.loop.ScheduleAt(head.release, func(sim.Time) {
+		d.armed = false
+		e := d.queue[d.head]
+		d.queue[d.head] = fifoEntry{}
+		d.head++
+		if d.head > 64 && d.head*2 >= len(d.queue) {
+			n := copy(d.queue, d.queue[d.head:])
+			d.queue = d.queue[:n]
+			d.head = 0
+		}
+		d.stats.Delivered++
+		d.stats.DeliveredBytes += uint64(e.pkt.Size)
+		d.sink(e.pkt)
+		d.arm()
+	})
+}
+
+// SetSink implements Box.
+func (d *FIFODelayBox) SetSink(sink Sink) { d.sink = sink }
+
+// Stats implements Box.
+func (d *FIFODelayBox) Stats() BoxStats {
+	st := d.stats
+	st.QueueLen = len(d.queue) - d.head
+	return st
+}
+
+// LossBox drops each packet independently with a fixed probability
+// (Mahimahi's mm-loss extension). Drops are drawn from a dedicated sim.Rand
+// stream so loss patterns are reproducible.
+type LossBox struct {
+	prob  float64
+	rng   *sim.Rand
+	sink  Sink
+	stats BoxStats
+}
+
+// NewLossBox returns a box that drops packets with probability prob in
+// [0, 1].
+func NewLossBox(prob float64, rng *sim.Rand) *LossBox {
+	if prob < 0 || prob > 1 {
+		panic(fmt.Sprintf("netem: loss probability %v outside [0,1]", prob))
+	}
+	return &LossBox{prob: prob, rng: rng}
+}
+
+// Send implements Box.
+func (l *LossBox) Send(pkt *Packet) {
+	if l.sink == nil {
+		panic("netem: LossBox.Send before SetSink")
+	}
+	l.stats.Arrived++
+	l.stats.ArrivedBytes += uint64(pkt.Size)
+	if l.prob > 0 && l.rng.Float64() < l.prob {
+		l.stats.Dropped++
+		return
+	}
+	l.stats.Delivered++
+	l.stats.DeliveredBytes += uint64(pkt.Size)
+	l.sink(pkt)
+}
+
+// SetSink implements Box.
+func (l *LossBox) SetSink(sink Sink) { l.sink = sink }
+
+// Stats implements Box.
+func (l *LossBox) Stats() BoxStats { return l.stats }
+
+// RateBox models a store-and-forward link with a fixed bit rate: each packet
+// occupies the transmitter for size*8/rate seconds, and packets queue behind
+// one another. It is the non-trace alternative to TraceBox for constant-rate
+// links, and is used by the ablation benches to validate TraceBox's
+// constant-rate traces against first principles.
+type RateBox struct {
+	loop    *sim.Loop
+	bps     int64 // bits per second
+	busyTil sim.Time
+	queue   *DropTail
+	sink    Sink
+	stats   BoxStats
+	sending bool
+}
+
+// NewRateBox returns a fixed-rate box. bitsPerSec must be positive. queue
+// bounds the backlog; pass nil for an unbounded queue.
+func NewRateBox(loop *sim.Loop, bitsPerSec int64, queue *DropTail) *RateBox {
+	if bitsPerSec <= 0 {
+		panic(fmt.Sprintf("netem: non-positive rate %d", bitsPerSec))
+	}
+	if queue == nil {
+		queue = NewDropTail(0, 0)
+	}
+	return &RateBox{loop: loop, bps: bitsPerSec, queue: queue}
+}
+
+// transmitTime is the serialization delay of a packet at the box's rate.
+func (r *RateBox) transmitTime(size int) sim.Time {
+	return sim.Time(int64(size) * 8 * int64(sim.Second) / r.bps)
+}
+
+// Send implements Box.
+func (r *RateBox) Send(pkt *Packet) {
+	if r.sink == nil {
+		panic("netem: RateBox.Send before SetSink")
+	}
+	r.stats.Arrived++
+	r.stats.ArrivedBytes += uint64(pkt.Size)
+	if !r.queue.Push(pkt) {
+		r.stats.Dropped++
+		return
+	}
+	if r.stats.QueueLen = r.queue.Len(); r.stats.QueueLen > r.stats.MaxQueueLen {
+		r.stats.MaxQueueLen = r.stats.QueueLen
+	}
+	r.stats.QueueBytes = r.queue.Bytes()
+	if !r.sending {
+		r.startNext()
+	}
+}
+
+func (r *RateBox) startNext() {
+	pkt := r.queue.Pop()
+	if pkt == nil {
+		r.sending = false
+		return
+	}
+	r.sending = true
+	r.loop.Schedule(r.transmitTime(pkt.Size), func(sim.Time) {
+		r.stats.Delivered++
+		r.stats.DeliveredBytes += uint64(pkt.Size)
+		r.stats.QueueLen = r.queue.Len()
+		r.stats.QueueBytes = r.queue.Bytes()
+		r.sink(pkt)
+		r.startNext()
+	})
+}
+
+// SetSink implements Box.
+func (r *RateBox) SetSink(sink Sink) { r.sink = sink }
+
+// Stats implements Box.
+func (r *RateBox) Stats() BoxStats { return r.stats }

@@ -1,0 +1,114 @@
+package netem
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// GateBox models an intermittent link (Mahimahi's mm-onoff extension):
+// the link alternates between on-periods, during which packets pass
+// through immediately, and off-periods, during which arriving packets are
+// held in a queue. When the link comes back on, held packets are released
+// in order.
+//
+// Period lengths can be jittered by a seeded RNG so that on/off phases do
+// not align across runs unless desired.
+type GateBox struct {
+	loop   *sim.Loop
+	on     sim.Time
+	off    sim.Time
+	jitter float64 // fraction of period length, 0 = strictly periodic
+	rng    *sim.Rand
+	isOn   bool
+	queue  *DropTail
+	sink   Sink
+	stats  BoxStats
+}
+
+// NewGateBox returns an intermittent-link box that starts in the on state.
+// on and off are the nominal period lengths; jitter (in [0,1)) randomizes
+// each period's length by ±jitter. queue bounds packets held during off
+// periods (nil = unbounded).
+func NewGateBox(loop *sim.Loop, on, off sim.Time, jitter float64, rng *sim.Rand, queue *DropTail) *GateBox {
+	if on <= 0 || off < 0 {
+		panic(fmt.Sprintf("netem: invalid gate periods on=%v off=%v", on, off))
+	}
+	if jitter > 0 && rng == nil {
+		panic("netem: GateBox jitter requires an RNG")
+	}
+	if queue == nil {
+		queue = NewDropTail(0, 0)
+	}
+	g := &GateBox{loop: loop, on: on, off: off, jitter: jitter, rng: rng, isOn: true, queue: queue}
+	if off > 0 {
+		g.scheduleFlip(g.period(on))
+	}
+	return g
+}
+
+// On reports whether the link is currently passing traffic.
+func (g *GateBox) On() bool { return g.isOn }
+
+func (g *GateBox) period(nominal sim.Time) sim.Time {
+	if g.jitter <= 0 {
+		return nominal
+	}
+	return g.rng.Jitter(nominal, g.jitter)
+}
+
+func (g *GateBox) scheduleFlip(after sim.Time) {
+	g.loop.Schedule(after, func(sim.Time) {
+		g.isOn = !g.isOn
+		if g.isOn {
+			// Link restored: drain everything held during the outage.
+			for {
+				pkt := g.queue.Pop()
+				if pkt == nil {
+					break
+				}
+				g.deliver(pkt)
+			}
+			g.scheduleFlip(g.period(g.on))
+		} else {
+			g.scheduleFlip(g.period(g.off))
+		}
+	})
+}
+
+func (g *GateBox) deliver(pkt *Packet) {
+	g.stats.Delivered++
+	g.stats.DeliveredBytes += uint64(pkt.Size)
+	g.sink(pkt)
+}
+
+// Send implements Box.
+func (g *GateBox) Send(pkt *Packet) {
+	if g.sink == nil {
+		panic("netem: GateBox.Send before SetSink")
+	}
+	g.stats.Arrived++
+	g.stats.ArrivedBytes += uint64(pkt.Size)
+	if g.isOn {
+		g.deliver(pkt)
+		return
+	}
+	if !g.queue.Push(pkt) {
+		g.stats.Dropped++
+		return
+	}
+	if g.stats.QueueLen = g.queue.Len(); g.stats.QueueLen > g.stats.MaxQueueLen {
+		g.stats.MaxQueueLen = g.stats.QueueLen
+	}
+}
+
+// SetSink implements Box.
+func (g *GateBox) SetSink(sink Sink) { g.sink = sink }
+
+// Stats implements Box.
+func (g *GateBox) Stats() BoxStats {
+	st := g.stats
+	st.QueueLen = g.queue.Len()
+	st.QueueBytes = g.queue.Bytes()
+	return st
+}

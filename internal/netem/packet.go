@@ -1,0 +1,114 @@
+// Package netem implements Mahimahi's network-emulation primitives on the
+// virtual clock from internal/sim.
+//
+// The paper's DelayShell and LinkShell are, at their core, two queueing
+// disciplines applied per direction of a link:
+//
+//   - DelayBox: every packet is released exactly one fixed one-way delay
+//     after it arrives (DelayShell, §2).
+//   - TraceBox: packets wait in a queue and are released at packet-delivery
+//     opportunities read from a trace file, one MTU-sized packet per
+//     opportunity (LinkShell, §2).
+//
+// Boxes are unidirectional and composable in series (Pipeline); a
+// bidirectional link is a pair of pipelines (Duplex). Shell nesting in
+// Mahimahi (`mm-delay 50 mm-link up down -- app`) corresponds to
+// concatenating each shell's boxes onto both directions.
+package netem
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// MTU is the emulated maximum transmission unit. Mahimahi's traces describe
+// delivery opportunities for 1500-byte packets.
+const MTU = 1500
+
+// Packet is the unit of work flowing through boxes. Packets carry an opaque
+// payload for the transport layer; boxes only inspect Size.
+type Packet struct {
+	// Size is the number of bytes the packet occupies on the wire,
+	// including all headers.
+	Size int
+	// Flow identifies the connection the packet belongs to, for per-flow
+	// accounting in tests and stats.
+	Flow uint64
+	// Seq is a transport-defined sequence number (used only for debugging
+	// and test assertions).
+	Seq int64
+	// Sent is the virtual time the packet entered the current box. Boxes
+	// update it on ingress.
+	Sent sim.Time
+	// Payload is opaque transport data (e.g. a *tcpsim.Segment).
+	Payload any
+}
+
+// String formats a short description of the packet for debug output.
+func (p *Packet) String() string {
+	return fmt.Sprintf("pkt{flow=%d seq=%d size=%d}", p.Flow, p.Seq, p.Size)
+}
+
+// Sink consumes delivered packets.
+type Sink func(pkt *Packet)
+
+// Box is a unidirectional packet processor: packets enter via Send and are
+// eventually handed to the sink (or dropped).
+type Box interface {
+	// Send injects a packet into the box at the current virtual time.
+	Send(pkt *Packet)
+	// SetSink installs the delivery callback. It must be called before the
+	// first Send.
+	SetSink(sink Sink)
+	// Stats reports the box's counters.
+	Stats() BoxStats
+}
+
+// BoxStats are the counters every box maintains.
+type BoxStats struct {
+	// Arrived counts packets that entered the box.
+	Arrived uint64
+	// Delivered counts packets handed to the sink.
+	Delivered uint64
+	// Dropped counts packets discarded (queue overflow, loss).
+	Dropped uint64
+	// ArrivedBytes and DeliveredBytes are the byte analogues.
+	ArrivedBytes   uint64
+	DeliveredBytes uint64
+	// QueueLen is the instantaneous number of queued packets.
+	QueueLen int
+	// QueueBytes is the instantaneous number of queued bytes.
+	QueueBytes int
+	// MaxQueueLen is the high-water mark of QueueLen.
+	MaxQueueLen int
+}
+
+// Wire is a zero-delay passthrough box, useful as the identity element of a
+// Pipeline and as the baseline in overhead experiments (Figure 2's
+// "ReplayShell alone" stack).
+type Wire struct {
+	sink  Sink
+	stats BoxStats
+}
+
+// NewWire returns a passthrough box.
+func NewWire() *Wire { return &Wire{} }
+
+// Send implements Box: immediate, in-order delivery.
+func (w *Wire) Send(pkt *Packet) {
+	w.stats.Arrived++
+	w.stats.ArrivedBytes += uint64(pkt.Size)
+	w.stats.Delivered++
+	w.stats.DeliveredBytes += uint64(pkt.Size)
+	if w.sink == nil {
+		panic("netem: Wire.Send before SetSink")
+	}
+	w.sink(pkt)
+}
+
+// SetSink implements Box.
+func (w *Wire) SetSink(sink Sink) { w.sink = sink }
+
+// Stats implements Box.
+func (w *Wire) Stats() BoxStats { return w.stats }

@@ -1,0 +1,70 @@
+package netem
+
+// DropTail is a FIFO packet queue with optional packet-count and byte
+// limits, matching the droptail queues in front of Mahimahi's emulated
+// links. A zero limit means unlimited in that dimension.
+type DropTail struct {
+	maxPackets int
+	maxBytes   int
+	pkts       []*Packet
+	head       int
+	bytes      int
+	dropped    uint64
+}
+
+// NewDropTail returns a queue bounded by maxPackets packets and maxBytes
+// bytes; zero disables the respective bound.
+func NewDropTail(maxPackets, maxBytes int) *DropTail {
+	return &DropTail{maxPackets: maxPackets, maxBytes: maxBytes}
+}
+
+// Push appends a packet, reporting false (a drop) if either bound would be
+// exceeded.
+func (q *DropTail) Push(pkt *Packet) bool {
+	if q.maxPackets > 0 && q.Len() >= q.maxPackets {
+		q.dropped++
+		return false
+	}
+	if q.maxBytes > 0 && q.bytes+pkt.Size > q.maxBytes {
+		q.dropped++
+		return false
+	}
+	q.pkts = append(q.pkts, pkt)
+	q.bytes += pkt.Size
+	return true
+}
+
+// Pop removes and returns the oldest packet, or nil when empty.
+func (q *DropTail) Pop() *Packet {
+	if q.Len() == 0 {
+		return nil
+	}
+	pkt := q.pkts[q.head]
+	q.pkts[q.head] = nil
+	q.head++
+	q.bytes -= pkt.Size
+	// Compact once the dead prefix dominates, to bound memory.
+	if q.head > 64 && q.head*2 >= len(q.pkts) {
+		n := copy(q.pkts, q.pkts[q.head:])
+		q.pkts = q.pkts[:n]
+		q.head = 0
+	}
+	return pkt
+}
+
+// Peek returns the oldest packet without removing it, or nil when empty.
+func (q *DropTail) Peek() *Packet {
+	if q.Len() == 0 {
+		return nil
+	}
+	return q.pkts[q.head]
+}
+
+// Len reports the number of queued packets.
+func (q *DropTail) Len() int { return len(q.pkts) - q.head }
+
+// Bytes reports the number of queued bytes.
+func (q *DropTail) Bytes() int { return q.bytes }
+
+// Dropped reports the cumulative number of rejected packets.
+func (q *DropTail) Dropped() uint64 { return q.dropped }

@@ -1,0 +1,98 @@
+package netem
+
+import (
+	"repro/internal/sim"
+)
+
+// OpportunitySource supplies packet-delivery opportunities. Next returns
+// the first opportunity strictly after the given virtual time; sources loop
+// forever, so Next always succeeds. internal/trace.Cursor implements this
+// interface. The indirection keeps netem free of the trace file format.
+type OpportunitySource interface {
+	Next(after sim.Time) sim.Time
+}
+
+// TraceBox emulates one direction of LinkShell: arriving packets are placed
+// in a (droptail) queue and released only at packet-delivery opportunities
+// drawn from the trace. Each opportunity delivers up to one MTU worth of the
+// head packet; packets larger than MTU consume multiple opportunities, and a
+// packet smaller than MTU consumes a whole opportunity, exactly as in
+// Mahimahi.
+type TraceBox struct {
+	loop   *sim.Loop
+	opps   OpportunitySource
+	queue  *DropTail
+	sink   Sink
+	stats  BoxStats
+	armed  bool
+	sentOf int // bytes of the head packet already delivered
+}
+
+// NewTraceBox returns a trace-driven box. queue bounds the backlog; pass nil
+// for an unbounded queue.
+func NewTraceBox(loop *sim.Loop, opps OpportunitySource, queue *DropTail) *TraceBox {
+	if queue == nil {
+		queue = NewDropTail(0, 0)
+	}
+	return &TraceBox{loop: loop, opps: opps, queue: queue}
+}
+
+// Send implements Box.
+func (t *TraceBox) Send(pkt *Packet) {
+	if t.sink == nil {
+		panic("netem: TraceBox.Send before SetSink")
+	}
+	t.stats.Arrived++
+	t.stats.ArrivedBytes += uint64(pkt.Size)
+	if !t.queue.Push(pkt) {
+		t.stats.Dropped++
+		return
+	}
+	if t.stats.QueueLen = t.queue.Len(); t.stats.QueueLen > t.stats.MaxQueueLen {
+		t.stats.MaxQueueLen = t.stats.QueueLen
+	}
+	t.stats.QueueBytes = t.queue.Bytes()
+	t.arm()
+}
+
+// arm schedules the next delivery opportunity if packets are waiting and no
+// opportunity is already scheduled.
+func (t *TraceBox) arm() {
+	if t.armed || t.queue.Len() == 0 {
+		return
+	}
+	t.armed = true
+	now := t.loop.Now()
+	at := t.opps.Next(now)
+	t.loop.ScheduleAt(at, t.fire)
+}
+
+// fire consumes one delivery opportunity: up to MTU bytes of the head
+// packet.
+func (t *TraceBox) fire(sim.Time) {
+	t.armed = false
+	head := t.queue.Peek()
+	if head == nil {
+		return
+	}
+	remaining := head.Size - t.sentOf
+	if remaining > MTU {
+		// Large packet: this opportunity moves MTU bytes; more needed.
+		t.sentOf += MTU
+	} else {
+		t.queue.Pop()
+		t.sentOf = 0
+		t.stats.Delivered++
+		t.stats.DeliveredBytes += uint64(head.Size)
+		t.stats.QueueLen = t.queue.Len()
+		t.stats.QueueBytes = t.queue.Bytes()
+		t.sink(head)
+	}
+	t.arm()
+}
+
+// SetSink implements Box.
+func (t *TraceBox) SetSink(sink Sink) { t.sink = sink }
+
+// Stats implements Box.
+func (t *TraceBox) Stats() BoxStats { return t.stats }

@@ -1,0 +1,328 @@
+package nsim
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/netem"
+	"repro/internal/sim"
+)
+
+// DatagramHandler receives datagrams delivered to a bound socket.
+type DatagramHandler func(dg *Datagram)
+
+// Network is a collection of namespaces sharing one virtual clock. It
+// exists only to hand out flow identifiers and hold the loop; it does not
+// provide any connectivity (connectivity is exclusively via Links).
+type Network struct {
+	loop     *sim.Loop
+	nextFlow uint64
+	nsCount  int
+}
+
+// NewNetwork creates an empty network on the given event loop.
+func NewNetwork(loop *sim.Loop) *Network {
+	return &Network{loop: loop}
+}
+
+// Loop returns the network's event loop.
+func (n *Network) Loop() *sim.Loop { return n.loop }
+
+// NextFlow allocates a network-unique flow identifier.
+func (n *Network) NextFlow() uint64 {
+	n.nextFlow++
+	return n.nextFlow
+}
+
+// route is a prefix-routed next hop.
+type route struct {
+	prefix Addr
+	bits   int
+	via    *LinkEnd
+}
+
+// Namespace is an isolated network stack: a private set of owned addresses,
+// a socket table, attached link endpoints and a routing table.
+type Namespace struct {
+	name    string
+	net     *Network
+	locals  map[Addr]bool
+	links   []*LinkEnd
+	routes  []route
+	sockets map[AddrPort]DatagramHandler
+	// wildcards handles binds to port on the zero address (any local addr).
+	wildcards map[uint16]DatagramHandler
+	// intercept, when set, sees every datagram that arrives for a
+	// non-local destination before routing. Returning true consumes the
+	// datagram. This models the iptables REDIRECT rule RecordShell uses to
+	// steer all HTTP(S) traffic into its man-in-the-middle proxy.
+	intercept func(dg *Datagram) bool
+	nextPort  uint16
+	stats     NamespaceStats
+}
+
+// NamespaceStats counts traffic seen by a namespace.
+type NamespaceStats struct {
+	DeliveredLocal uint64 // datagrams delivered to a local socket
+	Forwarded      uint64 // datagrams routed onward
+	NoRoute        uint64 // datagrams dropped: no route to destination
+	NoSocket       uint64 // datagrams dropped: no socket on the port
+	TTLExceeded    uint64 // datagrams dropped while forwarding
+}
+
+// NewNamespace creates an isolated namespace in the network.
+func (n *Network) NewNamespace(name string) *Namespace {
+	n.nsCount++
+	if name == "" {
+		name = fmt.Sprintf("ns%d", n.nsCount)
+	}
+	return &Namespace{
+		name:      name,
+		net:       n,
+		locals:    make(map[Addr]bool),
+		sockets:   make(map[AddrPort]DatagramHandler),
+		wildcards: make(map[uint16]DatagramHandler),
+		nextPort:  49152,
+	}
+}
+
+// Name reports the namespace's label.
+func (ns *Namespace) Name() string { return ns.name }
+
+// Network returns the owning network.
+func (ns *Namespace) Network() *Network { return ns.net }
+
+// Stats returns the namespace's traffic counters.
+func (ns *Namespace) Stats() NamespaceStats { return ns.stats }
+
+// AddAddress assigns an address to the namespace. ReplayShell uses this to
+// own every server IP seen during recording ("creates a separate virtual
+// interface for each distinct server IP", paper §2).
+func (ns *Namespace) AddAddress(a Addr) {
+	ns.locals[a] = true
+}
+
+// OwnsAddress reports whether the namespace owns the address.
+func (ns *Namespace) OwnsAddress(a Addr) bool { return ns.locals[a] }
+
+// Addresses returns the number of addresses the namespace owns.
+func (ns *Namespace) Addresses() int { return len(ns.locals) }
+
+// ErrPortInUse is returned by Bind when the endpoint is already bound.
+var ErrPortInUse = errors.New("nsim: address already in use")
+
+// ErrNotLocal is returned by Bind when the address is not owned by the
+// namespace.
+var ErrNotLocal = errors.New("nsim: cannot bind to non-local address")
+
+// Bind installs a handler for datagrams addressed to ap. Binding to an
+// address the namespace does not own fails, preserving isolation. A zero
+// ap.Addr binds the port on every local address (wildcard).
+func (ns *Namespace) Bind(ap AddrPort, h DatagramHandler) error {
+	if h == nil {
+		return errors.New("nsim: Bind with nil handler")
+	}
+	if ap.Addr == 0 {
+		if _, ok := ns.wildcards[ap.Port]; ok {
+			return fmt.Errorf("%w: *:%d", ErrPortInUse, ap.Port)
+		}
+		ns.wildcards[ap.Port] = h
+		return nil
+	}
+	if !ns.locals[ap.Addr] {
+		return fmt.Errorf("%w: %s", ErrNotLocal, ap.Addr)
+	}
+	if _, ok := ns.sockets[ap]; ok {
+		return fmt.Errorf("%w: %s", ErrPortInUse, ap)
+	}
+	ns.sockets[ap] = h
+	return nil
+}
+
+// Unbind removes a socket binding.
+func (ns *Namespace) Unbind(ap AddrPort) {
+	if ap.Addr == 0 {
+		delete(ns.wildcards, ap.Port)
+		return
+	}
+	delete(ns.sockets, ap)
+}
+
+// BindEphemeral binds h to a fresh ephemeral port on the given local
+// address, returning the chosen endpoint.
+func (ns *Namespace) BindEphemeral(a Addr, h DatagramHandler) (AddrPort, error) {
+	if !ns.locals[a] {
+		return AddrPort{}, fmt.Errorf("%w: %s", ErrNotLocal, a)
+	}
+	for tries := 0; tries < 1<<16; tries++ {
+		port := ns.nextPort
+		ns.nextPort++
+		if ns.nextPort == 0 {
+			ns.nextPort = 49152
+		}
+		ap := AddrPort{Addr: a, Port: port}
+		if _, ok := ns.sockets[ap]; ok {
+			continue
+		}
+		if err := ns.Bind(ap, h); err == nil {
+			return ap, nil
+		}
+	}
+	return AddrPort{}, errors.New("nsim: ephemeral ports exhausted")
+}
+
+// AddRoute installs a prefix route via the given link end. More-specific
+// prefixes win; ties go to the most recently added route.
+func (ns *Namespace) AddRoute(prefix Addr, bits int, via *LinkEnd) {
+	if via == nil || via.ns != ns {
+		panic("nsim: AddRoute via a link end not attached to this namespace")
+	}
+	ns.routes = append(ns.routes, route{prefix: prefix, bits: bits, via: via})
+}
+
+// AddDefaultRoute installs a 0.0.0.0/0 route via the given link end.
+func (ns *Namespace) AddDefaultRoute(via *LinkEnd) { ns.AddRoute(0, 0, via) }
+
+// lookup finds the best route for dst, or nil.
+func (ns *Namespace) lookup(dst Addr) *LinkEnd {
+	best := -1
+	var via *LinkEnd
+	for i := range ns.routes {
+		r := &ns.routes[i]
+		if dst.InSubnet(r.prefix, r.bits) && r.bits >= best {
+			best = r.bits
+			via = r.via
+		}
+	}
+	return via
+}
+
+// ErrNoRoute is returned by Send when no route matches the destination.
+var ErrNoRoute = errors.New("nsim: no route to host")
+
+// Send originates a datagram from this namespace. Local destinations are
+// delivered through the event loop (so delivery order is deterministic and
+// never reentrant); everything else is routed.
+func (ns *Namespace) Send(dg *Datagram) error {
+	if dg.TTL == 0 {
+		dg.TTL = DefaultTTL
+	}
+	if ns.locals[dg.Dst.Addr] {
+		ns.net.loop.Schedule(0, func(sim.Time) { ns.deliverLocal(dg) })
+		return nil
+	}
+	via := ns.lookup(dg.Dst.Addr)
+	if via == nil {
+		ns.stats.NoRoute++
+		return fmt.Errorf("%w: %s from %s", ErrNoRoute, dg.Dst, ns.name)
+	}
+	via.transmit(dg)
+	return nil
+}
+
+// SetIntercept installs (or clears, with nil) the transparent interception
+// hook for traffic transiting this namespace.
+func (ns *Namespace) SetIntercept(fn func(dg *Datagram) bool) { ns.intercept = fn }
+
+// receive handles a datagram arriving from a link.
+func (ns *Namespace) receive(dg *Datagram) {
+	if ns.locals[dg.Dst.Addr] {
+		ns.deliverLocal(dg)
+		return
+	}
+	if ns.intercept != nil && ns.intercept(dg) {
+		ns.stats.DeliveredLocal++
+		return
+	}
+	// Forward.
+	dg.TTL--
+	if dg.TTL <= 0 {
+		ns.stats.TTLExceeded++
+		return
+	}
+	via := ns.lookup(dg.Dst.Addr)
+	if via == nil {
+		ns.stats.NoRoute++
+		return
+	}
+	ns.stats.Forwarded++
+	via.transmit(dg)
+}
+
+func (ns *Namespace) deliverLocal(dg *Datagram) {
+	if h, ok := ns.sockets[dg.Dst]; ok {
+		ns.stats.DeliveredLocal++
+		h(dg)
+		return
+	}
+	if h, ok := ns.wildcards[dg.Dst.Port]; ok {
+		ns.stats.DeliveredLocal++
+		h(dg)
+		return
+	}
+	ns.stats.NoSocket++
+}
+
+// LinkEnd is one side of a veth pair attached to a namespace.
+type LinkEnd struct {
+	ns   *Namespace
+	pipe *netem.Pipeline // shaping applied to traffic leaving this end
+	peer *LinkEnd
+}
+
+// Namespace returns the namespace this end is attached to.
+func (le *LinkEnd) Namespace() *Namespace { return le.ns }
+
+// Pipeline returns the netem pipeline shaping this end's egress.
+func (le *LinkEnd) Pipeline() *netem.Pipeline { return le.pipe }
+
+// transmit pushes a datagram into this end's egress pipeline.
+func (le *LinkEnd) transmit(dg *Datagram) {
+	le.pipe.Send(&netem.Packet{
+		Size:    dg.Size,
+		Flow:    dg.Flow,
+		Seq:     dg.Seq,
+		Payload: dg,
+	})
+}
+
+// Connect creates a veth pair between two namespaces. Traffic from a to b
+// traverses ab (nil for an unshaped wire); traffic from b to a traverses
+// ba. The returned ends can be used as route targets.
+//
+// This is the moral equivalent of `ip link add veth0 type veth peer veth1`
+// plus moving the peers into their namespaces — with the crucial Mahimahi
+// twist that the pair's two directions are where DelayShell/LinkShell hang
+// their queues.
+func Connect(a, b *Namespace, ab, ba *netem.Pipeline) (*LinkEnd, *LinkEnd) {
+	if a.net != b.net {
+		panic("nsim: Connect across networks")
+	}
+	if ab == nil {
+		ab = netem.NewPipeline()
+	}
+	if ba == nil {
+		ba = netem.NewPipeline()
+	}
+	ea := &LinkEnd{ns: a, pipe: ab}
+	eb := &LinkEnd{ns: b, pipe: ba}
+	ea.peer, eb.peer = eb, ea
+	// Delivery into the receiving namespace always goes through the event
+	// loop, even when the pipeline itself imposes no delay. This keeps
+	// packet receipt from reentering a protocol stack that is mid-callback
+	// (e.g. an application writing from within its data handler must not
+	// observe the next inbound packet before its own handler returns), at
+	// zero virtual-time cost; same-timestamp events preserve FIFO order.
+	loop := a.net.loop
+	ab.SetSink(func(p *netem.Packet) {
+		dg := p.Payload.(*Datagram)
+		loop.Schedule(0, func(sim.Time) { b.receive(dg) })
+	})
+	ba.SetSink(func(p *netem.Packet) {
+		dg := p.Payload.(*Datagram)
+		loop.Schedule(0, func(sim.Time) { a.receive(dg) })
+	})
+	a.links = append(a.links, ea)
+	b.links = append(b.links, eb)
+	return ea, eb
+}

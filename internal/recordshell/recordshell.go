@@ -1,0 +1,142 @@
+// Package recordshell implements Mahimahi's RecordShell: a transparent
+// man-in-the-middle proxy that records HTTP exchanges during real page
+// loads (paper §2).
+//
+// "RecordShell spawns a man-in-the-middle proxy, equipped with an HTTP
+// parser, on the host machine to store and forward all HTTP(S) traffic
+// both to and from an application running within RecordShell."
+//
+// Here the proxy lives in its own namespace between the application and
+// the (simulated) Internet. An interception hook — the analogue of the
+// iptables REDIRECT rule Mahimahi installs — steers every datagram bound
+// for ports 80/443 into the proxy's TCP stack, which terminates the
+// connection while impersonating the origin's address. For each accepted
+// connection the proxy dials the true origin, forwards bytes verbatim in
+// both directions, and parses a copy of the stream to store each
+// request/response pair. Recording is transparent: the application needs
+// no proxy configuration, exactly as the paper claims for unmodified
+// browsers.
+package recordshell
+
+import (
+	"repro/internal/archive"
+	"repro/internal/httpx"
+	"repro/internal/nsim"
+	"repro/internal/tcpsim"
+)
+
+// Shell is a running RecordShell.
+type Shell struct {
+	// NS is the proxy namespace; build application shells with this as
+	// their world.
+	NS *nsim.Namespace
+	// Stack terminates intercepted connections and dials origins.
+	Stack *tcpsim.Stack
+	// Site accumulates recorded exchanges, in completion order.
+	Site *archive.Site
+	// proxyAddr is the address upstream connections originate from.
+	proxyAddr nsim.Addr
+	// Intercepted counts connections the proxy terminated.
+	Intercepted uint64
+}
+
+// New creates a RecordShell between an application-side namespace (to be
+// attached by the caller, e.g. via shells.Build with sh.NS as the world)
+// and the upstream world. proxyAddr must be routable from world (New
+// installs the route on the world side of the link it creates).
+func New(network *nsim.Network, world *nsim.Namespace, proxyAddr nsim.Addr, siteName string) *Shell {
+	ns := network.NewNamespace("record")
+	ns.AddAddress(proxyAddr)
+	sh := &Shell{
+		NS:        ns,
+		Stack:     tcpsim.NewStack(ns),
+		Site:      &archive.Site{Name: siteName},
+		proxyAddr: proxyAddr,
+	}
+
+	// Uplink to the real world.
+	inEnd, outEnd := nsim.Connect(ns, world, nil, nil)
+	ns.AddDefaultRoute(inEnd)
+	world.AddRoute(proxyAddr, 32, outEnd)
+
+	// Accept intercepted connections on any address, ports 80 and 443.
+	for _, port := range []uint16{80, 443} {
+		if err := sh.Stack.Listen(nsim.AddrPort{Addr: 0, Port: port}, sh.accept); err != nil {
+			// Ports are freshly allocated in a fresh namespace; failure is
+			// a programming error.
+			panic(err)
+		}
+	}
+	ns.SetIntercept(func(dg *nsim.Datagram) bool {
+		if dg.Dst.Port != 80 && dg.Dst.Port != 443 {
+			return false // non-HTTP traffic is forwarded untouched
+		}
+		sh.interceptDatagram(dg)
+		return true
+	})
+	return sh
+}
+
+// interceptDatagram feeds a redirected datagram into the proxy's stack.
+func (sh *Shell) interceptDatagram(dg *nsim.Datagram) {
+	sh.Stack.DeliverIntercepted(dg)
+}
+
+// accept wires up a newly intercepted connection: dial the origin the
+// client believes it is talking to, splice bytes, and record the parsed
+// exchanges.
+func (sh *Shell) accept(down *tcpsim.Conn) {
+	sh.Intercepted++
+	origin := down.LocalAddr() // the address the client dialed
+	scheme := "http"
+	if origin.Port == 443 {
+		scheme = "https"
+	}
+	up, err := sh.Stack.Dial(sh.proxyAddr, origin)
+	if err != nil {
+		down.Abort()
+		return
+	}
+
+	reqParser := &httpx.RequestParser{}
+	respParser := &httpx.ResponseParser{}
+	var pendingReqs []*httpx.Request
+
+	// Client -> origin: forward verbatim, parse a copy for the record.
+	down.OnData(func(data []byte) {
+		up.Write(data)
+		reqs, err := reqParser.Feed(data)
+		if err != nil {
+			return // unparseable traffic still flows; it just isn't recorded
+		}
+		for _, req := range reqs {
+			req.Scheme = scheme
+			respParser.ExpectMethod(req.Method)
+			pendingReqs = append(pendingReqs, req)
+		}
+	})
+	// Origin -> client: forward verbatim, pair responses with requests.
+	up.OnData(func(data []byte) {
+		down.Write(data)
+		resps, err := respParser.Feed(data)
+		if err != nil {
+			return
+		}
+		for _, resp := range resps {
+			if len(pendingReqs) == 0 {
+				continue // response without a recorded request; drop
+			}
+			req := pendingReqs[0]
+			pendingReqs = pendingReqs[1:]
+			sh.Site.Exchanges = append(sh.Site.Exchanges, &archive.Exchange{
+				Server:   origin,
+				Scheme:   scheme,
+				Request:  req,
+				Response: resp,
+			})
+		}
+	})
+	// Propagate closes in both directions.
+	down.OnClose(func(error) { up.Close() })
+	up.OnClose(func(error) { down.Close() })
+}

@@ -1,0 +1,202 @@
+// Package replayshell mirrors a recorded website, preserving its
+// multi-origin server topology (paper §2, ReplayShell).
+//
+// For each distinct (IP, port) pair seen while recording, ReplayShell
+// spawns a virtual HTTP server bound to that exact address inside its
+// namespace — the toolkit analogue of "spawning an Apache 2.4.6 Web server
+// for each distinct IP/port pair" on per-IP virtual interfaces. Every
+// server can access the entire recorded archive; request matching uses the
+// CGI algorithm from internal/match.
+//
+// The package also implements the paper's §4 ablation: a single-server mode
+// in which all recorded content is served from one address and hostname
+// pool, used by Table 2 and Figure 3 to quantify how badly measurements
+// skew when the multi-origin structure is collapsed.
+package replayshell
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/archive"
+	"repro/internal/dnssim"
+	"repro/internal/httpx"
+	"repro/internal/match"
+	"repro/internal/nsim"
+	"repro/internal/sim"
+	"repro/internal/tcpsim"
+)
+
+// Config parameterizes a replay.
+type Config struct {
+	// Site is the recorded site to mirror.
+	Site *archive.Site
+	// SingleServer collapses the site to one origin (the §4 ablation).
+	SingleServer bool
+	// SingleAddr is the address used in single-server mode; defaults to
+	// the site's first origin address.
+	SingleAddr nsim.Addr
+	// DNSLatency is the simulated cost of an uncached lookup inside the
+	// shell (Mahimahi answers from a local dnsmasq; near-zero).
+	DNSLatency sim.Time
+	// RequestCPU is the per-request processing cost of a replay server
+	// (Mahimahi's Apache dispatches each request to a CGI process that
+	// scans the recorded archive — a milliseconds-scale cost). Requests
+	// serialize on their server, so collapsing a 30-origin site onto a
+	// single server also serializes this work — one of the mechanisms
+	// behind the paper's single-server distortion.
+	RequestCPU sim.Time
+}
+
+// Shell is a running ReplayShell: a namespace owning every origin address,
+// one virtual server per origin, and a resolver mapping recorded hostnames
+// to their origins.
+type Shell struct {
+	NS       *nsim.Namespace
+	Stack    *tcpsim.Stack
+	Resolver *dnssim.Resolver
+	Matcher  *match.Matcher
+	origins  []nsim.AddrPort
+	cfg      Config
+	// servers holds the per-address CPU queues (one "Apache" per address).
+	servers map[nsim.Addr]*serverCPU
+	// RequestsServed counts requests answered across all servers.
+	RequestsServed uint64
+}
+
+// serverCPU serializes request-processing work on one server.
+type serverCPU struct {
+	busy  bool
+	queue []func()
+}
+
+// run executes fn after all queued work, charging cost per item.
+func (sc *serverCPU) run(sh *Shell, cost sim.Time, fn func()) {
+	if cost <= 0 {
+		fn()
+		return
+	}
+	sc.queue = append(sc.queue, fn)
+	sc.drain(sh, cost)
+}
+
+func (sc *serverCPU) drain(sh *Shell, cost sim.Time) {
+	if sc.busy || len(sc.queue) == 0 {
+		return
+	}
+	fn := sc.queue[0]
+	sc.queue = sc.queue[1:]
+	sc.busy = true
+	sh.NS.Network().Loop().Schedule(cost, func(sim.Time) {
+		sc.busy = false
+		fn()
+		sc.drain(sh, cost)
+	})
+}
+
+// New builds the replay namespace inside net. The returned shell's NS is
+// the "world" namespace for shells.Build.
+func New(network *nsim.Network, cfg Config) (*Shell, error) {
+	if cfg.Site == nil || len(cfg.Site.Exchanges) == 0 {
+		return nil, errors.New("replayshell: empty site")
+	}
+	ns := network.NewNamespace("replay-" + cfg.Site.Name)
+	sh := &Shell{
+		NS:       ns,
+		Stack:    tcpsim.NewStack(ns),
+		Resolver: dnssim.NewResolver(cfg.DNSLatency),
+		Matcher:  match.New(cfg.Site),
+		cfg:      cfg,
+		servers:  make(map[nsim.Addr]*serverCPU),
+	}
+
+	if cfg.SingleServer {
+		addr := cfg.SingleAddr
+		if addr == 0 {
+			addr = cfg.Site.Origins()[0].Addr
+		}
+		ns.AddAddress(addr)
+		// One server on each port that appeared in the recording.
+		ports := map[uint16]bool{}
+		for _, o := range cfg.Site.Origins() {
+			ports[o.Port] = true
+		}
+		for port := range ports {
+			ap := nsim.AddrPort{Addr: addr, Port: port}
+			if err := sh.Stack.Listen(ap, sh.serve); err != nil {
+				return nil, fmt.Errorf("replayshell: %w", err)
+			}
+			sh.origins = append(sh.origins, ap)
+		}
+		// Every recorded hostname resolves to the single address.
+		for host := range cfg.Site.Hosts() {
+			sh.Resolver.Add(host, addr)
+		}
+		return sh, nil
+	}
+
+	// Multi-origin: bind every recorded (IP, port) pair.
+	for _, origin := range cfg.Site.Origins() {
+		ns.AddAddress(origin.Addr) // idempotent per-address "virtual interface"
+		if err := sh.Stack.Listen(origin, sh.serve); err != nil {
+			return nil, fmt.Errorf("replayshell: %w", err)
+		}
+		sh.origins = append(sh.origins, origin)
+	}
+	for host, addr := range cfg.Site.Hosts() {
+		sh.Resolver.Add(host, addr)
+	}
+	return sh, nil
+}
+
+// Origins returns the addresses the shell is serving on.
+func (sh *Shell) Origins() []nsim.AddrPort { return sh.origins }
+
+// serve handles one accepted connection: parse pipelined requests, answer
+// each from the archive after the server's per-request CPU cost.
+// Connections are persistent; the client closes.
+func (sh *Shell) serve(conn *tcpsim.Conn) {
+	parser := &httpx.RequestParser{}
+	addr := conn.LocalAddr().Addr
+	scheme := "http"
+	if conn.LocalAddr().Port == 443 {
+		scheme = "https"
+	}
+	cpu, ok := sh.servers[addr]
+	if !ok {
+		cpu = &serverCPU{}
+		sh.servers[addr] = cpu
+	}
+	conn.OnData(func(data []byte) {
+		reqs, err := parser.Feed(data)
+		if err != nil {
+			conn.Abort()
+			return
+		}
+		for _, req := range reqs {
+			req := req
+			req.Scheme = scheme
+			cpu.run(sh, sh.cfg.RequestCPU, func() {
+				resp := sh.Matcher.LookupOr404(req)
+				sh.RequestsServed++
+				if conn.State() == tcpsim.StateEstablished {
+					conn.Write(normalize(resp).Marshal())
+				}
+			})
+		}
+	})
+}
+
+// normalize guarantees the response is framed with an accurate
+// Content-Length so the client parser can delimit it on a persistent
+// connection.
+func normalize(resp *httpx.Response) *httpx.Response {
+	want := fmt.Sprint(len(resp.Body))
+	if resp.Header.Get("Content-Length") == want && !resp.Header.Has("Transfer-Encoding") {
+		return resp
+	}
+	out := resp.Clone()
+	out.Header.Del("Transfer-Encoding")
+	out.Header.Set("Content-Length", want)
+	return out
+}

@@ -1,0 +1,192 @@
+// Package shells implements Mahimahi's network-emulation shells —
+// DelayShell and LinkShell — and their composition.
+//
+// In Mahimahi each shell forks a new network namespace joined to its parent
+// by a veth pair; the shell's queues shape the traffic crossing the pair,
+// and shells nest arbitrarily (`mm-delay 50 mm-link up.trace down.trace --
+// chrome`). Here a Shell contributes one netem box per direction, and a
+// Stack of shells is realized as a chain of namespaces:
+//
+//	app namespace ←veth→ shell₁ ns ←veth→ shell₂ ns ←veth→ ... ←veth→ world
+//
+// with each veth pair shaped by the inner shell's boxes, exactly mirroring
+// the process/namespace tree Mahimahi builds.
+package shells
+
+import (
+	"fmt"
+
+	"repro/internal/netem"
+	"repro/internal/nsim"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// Shell contributes emulation boxes to one nesting level.
+type Shell interface {
+	// Name identifies the shell for diagnostics, e.g. "delay-30ms".
+	Name() string
+	// Boxes returns fresh uplink and downlink boxes for this shell's
+	// namespace boundary. Each call must return new boxes (a shell may be
+	// instantiated several times).
+	Boxes(loop *sim.Loop) (up, down netem.Box)
+}
+
+// DelayShell applies a fixed one-way delay in each direction (mm-delay).
+type DelayShell struct {
+	// OneWay is the per-direction fixed delay.
+	OneWay sim.Time
+}
+
+// NewDelayShell returns a DelayShell with the given one-way delay.
+func NewDelayShell(oneWay sim.Time) *DelayShell { return &DelayShell{OneWay: oneWay} }
+
+// Name implements Shell.
+func (d *DelayShell) Name() string { return fmt.Sprintf("delay-%v", d.OneWay) }
+
+// Boxes implements Shell.
+func (d *DelayShell) Boxes(loop *sim.Loop) (netem.Box, netem.Box) {
+	return netem.NewDelayBox(loop, d.OneWay), netem.NewDelayBox(loop, d.OneWay)
+}
+
+// LinkShell emulates a trace-driven link (mm-link): independent uplink and
+// downlink packet-delivery traces, each with an optional droptail queue.
+type LinkShell struct {
+	Up, Down *trace.Trace
+	// QueuePackets bounds each direction's queue in packets; zero means
+	// unlimited (Mahimahi's default).
+	QueuePackets int
+	// QueueBytes bounds each direction's queue in bytes; zero means
+	// unlimited.
+	QueueBytes int
+}
+
+// NewLinkShell returns a LinkShell with the given per-direction traces.
+func NewLinkShell(up, down *trace.Trace) *LinkShell {
+	return &LinkShell{Up: up, Down: down}
+}
+
+// Name implements Shell.
+func (l *LinkShell) Name() string {
+	return fmt.Sprintf("link-%s-%s", l.Up.Name(), l.Down.Name())
+}
+
+// Boxes implements Shell.
+func (l *LinkShell) Boxes(loop *sim.Loop) (netem.Box, netem.Box) {
+	mk := func(t *trace.Trace) netem.Box {
+		var q *netem.DropTail
+		if l.QueuePackets > 0 || l.QueueBytes > 0 {
+			q = netem.NewDropTail(l.QueuePackets, l.QueueBytes)
+		}
+		return netem.NewTraceBox(loop, t.Cursor(), q)
+	}
+	return mk(l.Up), mk(l.Down)
+}
+
+// LossShell drops packets with a fixed probability per direction (mm-loss,
+// a Mahimahi extension beyond the demo paper).
+type LossShell struct {
+	UpProb, DownProb float64
+	// Seed derives the two directions' loss streams deterministically.
+	Seed uint64
+}
+
+// Name implements Shell.
+func (l *LossShell) Name() string {
+	return fmt.Sprintf("loss-%g-%g", l.UpProb, l.DownProb)
+}
+
+// Boxes implements Shell.
+func (l *LossShell) Boxes(loop *sim.Loop) (netem.Box, netem.Box) {
+	rng := sim.NewRand(l.Seed)
+	return netem.NewLossBox(l.UpProb, rng.Fork()), netem.NewLossBox(l.DownProb, rng.Fork())
+}
+
+// OnOffShell models an intermittently available link (Mahimahi's mm-onoff
+// extension): both directions alternate between on and off periods;
+// packets arriving while off are queued until the link returns.
+type OnOffShell struct {
+	// On and Off are the nominal period lengths.
+	On, Off sim.Time
+	// Jitter randomizes each period by ±Jitter (fraction); Seed drives it.
+	Jitter float64
+	Seed   uint64
+}
+
+// Name implements Shell.
+func (o *OnOffShell) Name() string {
+	return fmt.Sprintf("onoff-%v-%v", o.On, o.Off)
+}
+
+// Boxes implements Shell.
+func (o *OnOffShell) Boxes(loop *sim.Loop) (netem.Box, netem.Box) {
+	var upRng, downRng *sim.Rand
+	if o.Jitter > 0 {
+		rng := sim.NewRand(o.Seed)
+		upRng, downRng = rng.Fork(), rng.Fork()
+	}
+	up := netem.NewGateBox(loop, o.On, o.Off, o.Jitter, upRng, nil)
+	down := netem.NewGateBox(loop, o.On, o.Off, o.Jitter, downRng, nil)
+	return up, down
+}
+
+// Stack is an instantiated nest of shells between an application namespace
+// and a world namespace.
+type Stack struct {
+	// App is the innermost namespace, where the measured application (the
+	// browser model) runs.
+	App *nsim.Namespace
+	// World is the outermost namespace, where ReplayShell's servers (or
+	// the live-web model) live.
+	World *nsim.Namespace
+	// Inner is the app-side link end (for adding routes); Outer is the
+	// world-side end.
+	Inner, Outer *nsim.LinkEnd
+	shellNames   []string
+}
+
+// Shells reports the names of the nested shells, innermost first.
+func (s *Stack) Shells() []string { return s.shellNames }
+
+// Build instantiates a nest of shells inside the network. The app
+// namespace is created innermost; world must already exist. Shells are
+// given innermost-first (shell[0] is closest to the app), matching the
+// left-to-right order of a Mahimahi command line.
+//
+// Build wires default routes: the app routes everything toward the world,
+// and each intermediate namespace routes app-ward traffic back. The world
+// side gets a route for the app's address via the chain.
+func Build(net *nsim.Network, world *nsim.Namespace, appAddr nsim.Addr, shellList ...Shell) *Stack {
+	loop := net.Loop()
+	app := net.NewNamespace("app")
+	app.AddAddress(appAddr)
+
+	// Chain: app — s1 — s2 — ... — world. Each shell owns the boundary
+	// between its namespace and the next outer one. With zero shells the
+	// app connects to the world directly over an unshaped veth.
+	inner := app
+	var innerEnd *nsim.LinkEnd
+	names := make([]string, 0, len(shellList))
+	for i, sh := range shellList {
+		names = append(names, sh.Name())
+		shellNS := net.NewNamespace(fmt.Sprintf("shell%d-%s", i+1, sh.Name()))
+		up, down := sh.Boxes(loop)
+		inEnd, outEnd := nsim.Connect(inner, shellNS,
+			netem.NewPipeline(up), netem.NewPipeline(down))
+		// Inner namespace routes outward through this boundary.
+		inner.AddDefaultRoute(inEnd)
+		// The shell namespace routes app-ward traffic back down the chain.
+		shellNS.AddRoute(appAddr, 32, outEnd)
+		if innerEnd == nil {
+			innerEnd = inEnd
+		}
+		inner = shellNS
+	}
+	inEnd, outEnd := nsim.Connect(inner, world, nil, nil)
+	inner.AddDefaultRoute(inEnd)
+	world.AddRoute(appAddr, 32, outEnd)
+	if innerEnd == nil {
+		innerEnd = inEnd
+	}
+	return &Stack{App: app, World: world, Inner: innerEnd, Outer: outEnd, shellNames: names}
+}

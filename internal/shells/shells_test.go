@@ -1,0 +1,239 @@
+package shells
+
+import (
+	"testing"
+
+	"repro/internal/netem"
+	"repro/internal/nsim"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+var (
+	appAddr   = nsim.ParseAddr("100.64.0.1")
+	worldAddr = nsim.ParseAddr("93.184.216.34")
+)
+
+// rtt measures the app→world→app round trip of a single datagram through a
+// stack of shells.
+func rtt(t *testing.T, shellList ...Shell) sim.Time {
+	t.Helper()
+	loop := sim.NewLoop()
+	net := nsim.NewNetwork(loop)
+	world := net.NewNamespace("world")
+	world.AddAddress(worldAddr)
+	st := Build(net, world, appAddr, shellList...)
+
+	// Echo server in the world namespace.
+	world.Bind(nsim.AddrPort{Addr: worldAddr, Port: 7}, func(dg *nsim.Datagram) {
+		world.Send(&nsim.Datagram{
+			Src: dg.Dst, Dst: dg.Src, Size: dg.Size,
+		})
+	})
+	var done sim.Time = -1
+	st.App.Bind(nsim.AddrPort{Addr: appAddr, Port: 7}, func(*nsim.Datagram) {
+		done = loop.Now()
+	})
+	loop.Schedule(0, func(sim.Time) {
+		if err := st.App.Send(&nsim.Datagram{
+			Src:  nsim.AddrPort{Addr: appAddr, Port: 7},
+			Dst:  nsim.AddrPort{Addr: worldAddr, Port: 7},
+			Size: netem.MTU,
+		}); err != nil {
+			t.Errorf("Send: %v", err)
+		}
+	})
+	loop.Run()
+	if done < 0 {
+		t.Fatal("echo never returned")
+	}
+	return done
+}
+
+func TestNoShellsZeroRTT(t *testing.T) {
+	if got := rtt(t); got != 0 {
+		t.Fatalf("bare stack RTT = %v, want 0", got)
+	}
+}
+
+func TestDelayShellAddsRTT(t *testing.T) {
+	if got := rtt(t, NewDelayShell(30*sim.Millisecond)); got != 60*sim.Millisecond {
+		t.Fatalf("RTT = %v, want 60ms", got)
+	}
+}
+
+func TestNestedDelayShellsAdd(t *testing.T) {
+	got := rtt(t, NewDelayShell(10*sim.Millisecond), NewDelayShell(15*sim.Millisecond))
+	if got != 50*sim.Millisecond {
+		t.Fatalf("RTT = %v, want 50ms (2*(10+15))", got)
+	}
+}
+
+func TestDelayShellZero(t *testing.T) {
+	if got := rtt(t, NewDelayShell(0)); got != 0 {
+		t.Fatalf("RTT = %v, want 0 for DelayShell 0ms", got)
+	}
+}
+
+func TestLinkShellPacing(t *testing.T) {
+	// 12 Mbit/s constant trace: one delivery opportunity per millisecond
+	// per direction. A burst of packets must be paced out at 1/ms.
+	up, err := trace.Constant(12_000_000, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	down, _ := trace.Constant(12_000_000, 1000)
+
+	loop := sim.NewLoop()
+	net := nsim.NewNetwork(loop)
+	world := net.NewNamespace("world")
+	world.AddAddress(worldAddr)
+	st := Build(net, world, appAddr, NewLinkShell(up, down))
+	var at []sim.Time
+	world.Bind(nsim.AddrPort{Addr: worldAddr, Port: 7}, func(*nsim.Datagram) {
+		at = append(at, loop.Now())
+	})
+	// Send off the millisecond grid so each packet waits for the next
+	// opportunity.
+	loop.Schedule(200*sim.Microsecond, func(sim.Time) {
+		for i := 0; i < 3; i++ {
+			st.App.Send(&nsim.Datagram{
+				Src: nsim.AddrPort{Addr: appAddr, Port: 7},
+				Dst: nsim.AddrPort{Addr: worldAddr, Port: 7},
+				Size: netem.MTU,
+			})
+		}
+	})
+	loop.Run()
+	want := []sim.Time{sim.Millisecond, 2 * sim.Millisecond, 3 * sim.Millisecond}
+	if len(at) != 3 {
+		t.Fatalf("delivered %d packets, want 3", len(at))
+	}
+	for i := range want {
+		if at[i] != want[i] {
+			t.Fatalf("deliveries at %v, want %v", at, want)
+		}
+	}
+}
+
+func TestDelayPlusLinkCompose(t *testing.T) {
+	up, _ := trace.Constant(12_000_000, 1000)
+	down, _ := trace.Constant(12_000_000, 1000)
+	got := rtt(t, NewDelayShell(50*sim.Millisecond), NewLinkShell(up, down))
+	if got < 100*sim.Millisecond || got > 105*sim.Millisecond {
+		t.Fatalf("RTT = %v, want ~100-104ms", got)
+	}
+}
+
+func TestLossShellDropsEverything(t *testing.T) {
+	loop := sim.NewLoop()
+	net := nsim.NewNetwork(loop)
+	world := net.NewNamespace("world")
+	world.AddAddress(worldAddr)
+	st := Build(net, world, appAddr, &LossShell{UpProb: 1, DownProb: 1, Seed: 1})
+	delivered := false
+	world.Bind(nsim.AddrPort{Addr: worldAddr, Port: 7}, func(*nsim.Datagram) { delivered = true })
+	st.App.Send(&nsim.Datagram{
+		Src: nsim.AddrPort{Addr: appAddr, Port: 1},
+		Dst: nsim.AddrPort{Addr: worldAddr, Port: 7}, Size: 100,
+	})
+	loop.Run()
+	if delivered {
+		t.Fatal("100% loss shell delivered a packet")
+	}
+}
+
+func TestShellNames(t *testing.T) {
+	loop := sim.NewLoop()
+	net := nsim.NewNetwork(loop)
+	world := net.NewNamespace("world")
+	world.AddAddress(worldAddr)
+	up, _ := trace.Constant(1_000_000, 1000)
+	down, _ := trace.Constant(1_000_000, 1000)
+	st := Build(net, world, appAddr,
+		NewDelayShell(30*sim.Millisecond), NewLinkShell(up, down))
+	names := st.Shells()
+	if len(names) != 2 || names[0] != "delay-30ms" {
+		t.Fatalf("Shells = %v", names)
+	}
+}
+
+func TestTwoStacksIsolated(t *testing.T) {
+	// Two concurrent stacks in one network: traffic in one must never
+	// appear in the other (the paper's isolation claim).
+	loop := sim.NewLoop()
+	net := nsim.NewNetwork(loop)
+	worldA := net.NewNamespace("worldA")
+	worldB := net.NewNamespace("worldB")
+	addr := worldAddr // same address in both worlds: still isolated
+	worldA.AddAddress(addr)
+	worldB.AddAddress(addr)
+	stA := Build(net, worldA, appAddr, NewDelayShell(10*sim.Millisecond))
+	stB := Build(net, worldB, appAddr, NewDelayShell(10*sim.Millisecond))
+
+	var gotA, gotB int
+	worldA.Bind(nsim.AddrPort{Addr: addr, Port: 7}, func(*nsim.Datagram) { gotA++ })
+	worldB.Bind(nsim.AddrPort{Addr: addr, Port: 7}, func(*nsim.Datagram) { gotB++ })
+	stA.App.Send(&nsim.Datagram{
+		Src: nsim.AddrPort{Addr: appAddr, Port: 1},
+		Dst: nsim.AddrPort{Addr: addr, Port: 7}, Size: 10,
+	})
+	loop.Run()
+	if gotA != 1 || gotB != 0 {
+		t.Fatalf("isolation broken: A=%d B=%d, want 1,0", gotA, gotB)
+	}
+	_ = stB
+}
+
+func TestLinkShellQueueLimit(t *testing.T) {
+	// 1 Mbit/s with a 2-packet queue: a 10-packet burst must drop most.
+	up, _ := trace.Constant(1_000_000, 1000)
+	down, _ := trace.Constant(1_000_000, 1000)
+	sh := NewLinkShell(up, down)
+	sh.QueuePackets = 2
+
+	loop := sim.NewLoop()
+	net := nsim.NewNetwork(loop)
+	world := net.NewNamespace("world")
+	world.AddAddress(worldAddr)
+	st := Build(net, world, appAddr, sh)
+	got := 0
+	world.Bind(nsim.AddrPort{Addr: worldAddr, Port: 7}, func(*nsim.Datagram) { got++ })
+	loop.Schedule(0, func(sim.Time) {
+		for i := 0; i < 10; i++ {
+			st.App.Send(&nsim.Datagram{
+				Src: nsim.AddrPort{Addr: appAddr, Port: 1},
+				Dst: nsim.AddrPort{Addr: worldAddr, Port: 7}, Size: netem.MTU,
+			})
+		}
+	})
+	loop.Run()
+	if got > 3 {
+		t.Fatalf("delivered %d of 10 with 2-packet queue, want <=3", got)
+	}
+}
+
+func TestOnOffShellStallsThenDelivers(t *testing.T) {
+	loop := sim.NewLoop()
+	net := nsim.NewNetwork(loop)
+	world := net.NewNamespace("world")
+	world.AddAddress(worldAddr)
+	sh := &OnOffShell{On: 50 * sim.Millisecond, Off: 100 * sim.Millisecond}
+	st := Build(net, world, appAddr, sh)
+	var at sim.Time
+	world.Bind(nsim.AddrPort{Addr: worldAddr, Port: 7}, func(*nsim.Datagram) { at = loop.Now() })
+	// Send during the first off period [50,150): held until 150ms.
+	loop.Schedule(70*sim.Millisecond, func(sim.Time) {
+		st.App.Send(&nsim.Datagram{
+			Src: nsim.AddrPort{Addr: appAddr, Port: 7},
+			Dst: nsim.AddrPort{Addr: worldAddr, Port: 7}, Size: netem.MTU,
+		})
+	})
+	loop.RunUntil(400 * sim.Millisecond)
+	if at != 150*sim.Millisecond {
+		t.Fatalf("delivery at %v, want 150ms (end of outage)", at)
+	}
+	if sh.Name() == "" {
+		t.Fatal("empty name")
+	}
+}

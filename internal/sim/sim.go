@@ -1,0 +1,242 @@
+// Package sim provides a deterministic discrete-event simulator that the
+// rest of the toolkit runs on top of.
+//
+// Mahimahi's shells run in real time on a Linux host; this reproduction runs
+// the same queueing algorithms on a virtual clock so that experiments are
+// deterministic, isolated from host load, and orders of magnitude faster
+// than real time. Every packet release, TCP timer, and browser event is an
+// Event scheduled on a Loop.
+//
+// Determinism guarantees: events fire in (time, priority, sequence) order,
+// where sequence is the order of scheduling. Two runs of the same workload
+// with the same seeds produce identical traces.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"time"
+)
+
+// Time is a virtual timestamp, measured in nanoseconds since the start of
+// the simulation. It intentionally mirrors time.Duration arithmetic.
+type Time int64
+
+// Common virtual-time unit constants.
+const (
+	Nanosecond  Time = 1
+	Microsecond      = 1000 * Nanosecond
+	Millisecond      = 1000 * Microsecond
+	Second           = 1000 * Millisecond
+)
+
+// Duration converts a virtual timestamp to a time.Duration from t=0.
+func (t Time) Duration() time.Duration { return time.Duration(t) }
+
+// Milliseconds reports the timestamp in (possibly fractional) milliseconds.
+func (t Time) Milliseconds() float64 { return float64(t) / float64(Millisecond) }
+
+// Seconds reports the timestamp in (possibly fractional) seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// String formats the virtual time as a duration from simulation start.
+func (t Time) String() string { return time.Duration(t).String() }
+
+// FromDuration converts a wall-clock duration to a virtual duration.
+func FromDuration(d time.Duration) Time { return Time(d.Nanoseconds()) }
+
+// Handler is a callback fired when an event's time arrives.
+type Handler func(now Time)
+
+// Event is a scheduled callback. It is returned by the scheduling methods so
+// callers can cancel it (e.g. a TCP retransmission timer that is reset on
+// every ACK).
+type Event struct {
+	at       Time
+	priority int
+	seq      uint64
+	index    int // heap index; -1 when not queued
+	fn       Handler
+	canceled bool
+}
+
+// At reports the virtual time the event is scheduled for.
+func (e *Event) At() Time { return e.at }
+
+// Canceled reports whether Cancel has been called on the event.
+func (e *Event) Canceled() bool { return e.canceled }
+
+// Cancel prevents the event from firing. Canceling an already-fired or
+// already-canceled event is a no-op.
+func (e *Event) Cancel() { e.canceled = true }
+
+// eventQueue is a min-heap ordered by (at, priority, seq).
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	if q[i].priority != q[j].priority {
+		return q[i].priority < q[j].priority
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+
+func (q *eventQueue) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*q)
+	*q = append(*q, e)
+}
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*q = old[:n-1]
+	return e
+}
+
+// Loop is the discrete-event loop. The zero value is not usable; create one
+// with NewLoop.
+type Loop struct {
+	now     Time
+	queue   eventQueue
+	nextSeq uint64
+	running bool
+	fired   uint64
+}
+
+// NewLoop returns an empty event loop positioned at virtual time zero.
+func NewLoop() *Loop {
+	return &Loop{}
+}
+
+// Now reports the current virtual time.
+func (l *Loop) Now() Time { return l.now }
+
+// Pending reports the number of events currently queued (including canceled
+// events that have not yet been discarded).
+func (l *Loop) Pending() int { return len(l.queue) }
+
+// Fired reports the total number of events that have executed.
+func (l *Loop) Fired() uint64 { return l.fired }
+
+// Schedule queues fn to run after delay. A negative delay is treated as
+// zero: the event runs at the current time, after events already queued for
+// that time.
+func (l *Loop) Schedule(delay Time, fn Handler) *Event {
+	if delay < 0 {
+		delay = 0
+	}
+	return l.ScheduleAt(l.now+delay, fn)
+}
+
+// ScheduleAt queues fn to run at the absolute virtual time at. Times in the
+// past are clamped to now.
+func (l *Loop) ScheduleAt(at Time, fn Handler) *Event {
+	return l.schedule(at, 0, fn)
+}
+
+// SchedulePriority queues fn to run after delay with an explicit priority.
+// Among events at the same time, lower priorities fire first; equal
+// priorities fire in scheduling order.
+func (l *Loop) SchedulePriority(delay Time, priority int, fn Handler) *Event {
+	if delay < 0 {
+		delay = 0
+	}
+	return l.schedule(l.now+delay, priority, fn)
+}
+
+func (l *Loop) schedule(at Time, priority int, fn Handler) *Event {
+	if fn == nil {
+		panic("sim: Schedule with nil handler")
+	}
+	if at < l.now {
+		at = l.now
+	}
+	e := &Event{at: at, priority: priority, seq: l.nextSeq, fn: fn, index: -1}
+	l.nextSeq++
+	heap.Push(&l.queue, e)
+	return e
+}
+
+// Step fires the single earliest pending non-canceled event, advancing the
+// clock to its timestamp. It reports false when no events remain.
+func (l *Loop) Step() bool {
+	for len(l.queue) > 0 {
+		e := heap.Pop(&l.queue).(*Event)
+		if e.canceled {
+			continue
+		}
+		if e.at < l.now {
+			panic(fmt.Sprintf("sim: event scheduled at %v fired at %v (clock went backwards)", e.at, l.now))
+		}
+		l.now = e.at
+		l.fired++
+		e.fn(l.now)
+		return true
+	}
+	return false
+}
+
+// Run fires events until the queue is empty, then returns the final virtual
+// time.
+func (l *Loop) Run() Time {
+	if l.running {
+		panic("sim: Run called reentrantly")
+	}
+	l.running = true
+	defer func() { l.running = false }()
+	for l.Step() {
+	}
+	return l.now
+}
+
+// RunUntil fires events with timestamps <= deadline, then advances the clock
+// to the deadline. Events scheduled past the deadline remain queued.
+func (l *Loop) RunUntil(deadline Time) {
+	if l.running {
+		panic("sim: RunUntil called reentrantly")
+	}
+	l.running = true
+	defer func() { l.running = false }()
+	for len(l.queue) > 0 {
+		e := l.queue[0]
+		if e.canceled {
+			heap.Pop(&l.queue)
+			continue
+		}
+		if e.at > deadline {
+			break
+		}
+		l.Step()
+	}
+	if l.now < deadline {
+		l.now = deadline
+	}
+}
+
+// RunFor runs the loop for d virtual time from the current clock.
+func (l *Loop) RunFor(d Time) { l.RunUntil(l.now + d) }
+
+// RunWhile fires events until cond returns false or the queue drains. cond
+// is evaluated before each event.
+func (l *Loop) RunWhile(cond func() bool) {
+	for cond() && l.Step() {
+	}
+}
+
+// MaxTime is the largest representable virtual time.
+const MaxTime = Time(math.MaxInt64)

@@ -1,0 +1,174 @@
+// Package stats provides the summary statistics the paper's tables and
+// figures report: CDFs, percentiles, means and standard deviations over
+// page-load-time samples.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Sample is an immutable sorted sample set.
+type Sample struct {
+	sorted []float64
+}
+
+// New copies and sorts the values.
+func New(values []float64) *Sample {
+	s := make([]float64, len(values))
+	copy(s, values)
+	sort.Float64s(s)
+	return &Sample{sorted: s}
+}
+
+// Len reports the sample size.
+func (s *Sample) Len() int { return len(s.sorted) }
+
+// Min returns the smallest value (NaN when empty).
+func (s *Sample) Min() float64 {
+	if len(s.sorted) == 0 {
+		return math.NaN()
+	}
+	return s.sorted[0]
+}
+
+// Max returns the largest value (NaN when empty).
+func (s *Sample) Max() float64 {
+	if len(s.sorted) == 0 {
+		return math.NaN()
+	}
+	return s.sorted[len(s.sorted)-1]
+}
+
+// Mean returns the arithmetic mean (NaN when empty).
+func (s *Sample) Mean() float64 {
+	if len(s.sorted) == 0 {
+		return math.NaN()
+	}
+	sum := 0.0
+	for _, v := range s.sorted {
+		sum += v
+	}
+	return sum / float64(len(s.sorted))
+}
+
+// StdDev returns the population standard deviation (NaN when empty).
+func (s *Sample) StdDev() float64 {
+	n := len(s.sorted)
+	if n == 0 {
+		return math.NaN()
+	}
+	mean := s.Mean()
+	sum := 0.0
+	for _, v := range s.sorted {
+		d := v - mean
+		sum += d * d
+	}
+	return math.Sqrt(sum / float64(n))
+}
+
+// Percentile returns the p-th percentile (0 <= p <= 100) with linear
+// interpolation between order statistics.
+func (s *Sample) Percentile(p float64) float64 {
+	n := len(s.sorted)
+	if n == 0 {
+		return math.NaN()
+	}
+	if p <= 0 {
+		return s.sorted[0]
+	}
+	if p >= 100 {
+		return s.sorted[n-1]
+	}
+	rank := p / 100 * float64(n-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return s.sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return s.sorted[lo]*(1-frac) + s.sorted[hi]*frac
+}
+
+// Median returns the 50th percentile.
+func (s *Sample) Median() float64 { return s.Percentile(50) }
+
+// CDFPoint is one step of an empirical CDF.
+type CDFPoint struct {
+	Value float64
+	// Cumulative is the proportion of samples <= Value, in (0, 1].
+	Cumulative float64
+}
+
+// CDF returns the empirical distribution function, one point per sample.
+func (s *Sample) CDF() []CDFPoint {
+	out := make([]CDFPoint, len(s.sorted))
+	n := float64(len(s.sorted))
+	for i, v := range s.sorted {
+		out[i] = CDFPoint{Value: v, Cumulative: float64(i+1) / n}
+	}
+	return out
+}
+
+// CDFAt returns the empirical CDF evaluated at x.
+func (s *Sample) CDFAt(x float64) float64 {
+	if len(s.sorted) == 0 {
+		return math.NaN()
+	}
+	i := sort.SearchFloat64s(s.sorted, math.Nextafter(x, math.Inf(1)))
+	return float64(i) / float64(len(s.sorted))
+}
+
+// RelDiff returns (a-b)/b.
+func RelDiff(a, b float64) float64 { return (a - b) / b }
+
+// AbsRelDiff returns |a-b|/b.
+func AbsRelDiff(a, b float64) float64 { return math.Abs(a-b) / b }
+
+// Summary formats "mean ± stddev" with the given unit suffix.
+func (s *Sample) Summary(unit string) string {
+	return fmt.Sprintf("%.0f±%.0f %s", s.Mean(), s.StdDev(), unit)
+}
+
+// ASCIICDF renders a crude fixed-width CDF plot of several labeled samples,
+// for terminal output from mm-bench. Values are bucketed over [0, max].
+func ASCIICDF(width, height int, labels []string, samples []*Sample) string {
+	if len(labels) != len(samples) || len(samples) == 0 {
+		return ""
+	}
+	max := 0.0
+	for _, s := range samples {
+		if s.Len() > 0 && s.Max() > max {
+			max = s.Max()
+		}
+	}
+	if max == 0 {
+		return ""
+	}
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	marks := "*+ox#@"
+	for si, s := range samples {
+		mark := marks[si%len(marks)]
+		for c := 0; c < width; c++ {
+			x := max * float64(c) / float64(width-1)
+			y := s.CDFAt(x) // 0..1
+			r := height - 1 - int(y*float64(height-1))
+			grid[r][c] = mark
+		}
+	}
+	var b strings.Builder
+	for r, row := range grid {
+		frac := 1 - float64(r)/float64(height-1)
+		fmt.Fprintf(&b, "%4.2f |%s|\n", frac, string(row))
+	}
+	fmt.Fprintf(&b, "      0%s%.0f\n", strings.Repeat(" ", width-len(fmt.Sprintf("%.0f", max))), max)
+	for si, l := range labels {
+		fmt.Fprintf(&b, "      %c = %s\n", marks[si%len(marks)], l)
+	}
+	return b.String()
+}

@@ -1,0 +1,160 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestBasicMoments(t *testing.T) {
+	s := New([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if s.Mean() != 5 {
+		t.Fatalf("Mean = %v, want 5", s.Mean())
+	}
+	if s.StdDev() != 2 {
+		t.Fatalf("StdDev = %v, want 2", s.StdDev())
+	}
+	if s.Min() != 2 || s.Max() != 9 {
+		t.Fatalf("Min/Max = %v/%v", s.Min(), s.Max())
+	}
+	if s.Len() != 8 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+}
+
+func TestEmptySampleNaN(t *testing.T) {
+	s := New(nil)
+	for name, v := range map[string]float64{
+		"Mean": s.Mean(), "StdDev": s.StdDev(), "Min": s.Min(),
+		"Max": s.Max(), "Median": s.Median(), "CDFAt": s.CDFAt(1),
+	} {
+		if !math.IsNaN(v) {
+			t.Errorf("%s on empty = %v, want NaN", name, v)
+		}
+	}
+}
+
+func TestPercentiles(t *testing.T) {
+	vals := make([]float64, 101)
+	for i := range vals {
+		vals[i] = float64(i)
+	}
+	s := New(vals)
+	if s.Percentile(0) != 0 || s.Percentile(100) != 100 {
+		t.Fatalf("extremes: %v, %v", s.Percentile(0), s.Percentile(100))
+	}
+	if s.Median() != 50 {
+		t.Fatalf("Median = %v", s.Median())
+	}
+	if s.Percentile(95) != 95 {
+		t.Fatalf("P95 = %v", s.Percentile(95))
+	}
+}
+
+func TestPercentileInterpolation(t *testing.T) {
+	s := New([]float64{0, 10})
+	if got := s.Percentile(50); got != 5 {
+		t.Fatalf("interpolated median = %v, want 5", got)
+	}
+	if got := s.Percentile(25); got != 2.5 {
+		t.Fatalf("P25 = %v, want 2.5", got)
+	}
+}
+
+func TestInputNotMutated(t *testing.T) {
+	in := []float64{3, 1, 2}
+	New(in)
+	if in[0] != 3 || in[1] != 1 || in[2] != 2 {
+		t.Fatal("New mutated its input")
+	}
+}
+
+func TestCDFMonotone(t *testing.T) {
+	s := New([]float64{5, 1, 3, 3, 8})
+	cdf := s.CDF()
+	if len(cdf) != 5 {
+		t.Fatalf("CDF has %d points", len(cdf))
+	}
+	for i := 1; i < len(cdf); i++ {
+		if cdf[i].Value < cdf[i-1].Value || cdf[i].Cumulative <= cdf[i-1].Cumulative {
+			t.Fatalf("CDF not monotone at %d: %+v", i, cdf)
+		}
+	}
+	if cdf[len(cdf)-1].Cumulative != 1 {
+		t.Fatalf("CDF does not reach 1: %v", cdf[len(cdf)-1])
+	}
+}
+
+func TestCDFAt(t *testing.T) {
+	s := New([]float64{1, 2, 3, 4})
+	cases := []struct{ x, want float64 }{
+		{0.5, 0}, {1, 0.25}, {2.5, 0.5}, {4, 1}, {99, 1},
+	}
+	for _, c := range cases {
+		if got := s.CDFAt(c.x); got != c.want {
+			t.Errorf("CDFAt(%v) = %v, want %v", c.x, got, c.want)
+		}
+	}
+}
+
+// Properties: percentile is monotone in p and bounded by min/max.
+func TestPercentileProperty(t *testing.T) {
+	f := func(raw []float64, p1, p2 uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		for _, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return true
+			}
+		}
+		s := New(raw)
+		a, b := float64(p1%101), float64(p2%101)
+		if a > b {
+			a, b = b, a
+		}
+		va, vb := s.Percentile(a), s.Percentile(b)
+		return va <= vb && va >= s.Min() && vb <= s.Max()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRelDiff(t *testing.T) {
+	if RelDiff(110, 100) != 0.1 {
+		t.Fatalf("RelDiff = %v", RelDiff(110, 100))
+	}
+	if AbsRelDiff(90, 100) != 0.1 {
+		t.Fatalf("AbsRelDiff = %v", AbsRelDiff(90, 100))
+	}
+}
+
+func TestSummaryFormat(t *testing.T) {
+	s := New([]float64{100, 200})
+	got := s.Summary("ms")
+	if got != "150±50 ms" {
+		t.Fatalf("Summary = %q", got)
+	}
+}
+
+func TestASCIICDFRenders(t *testing.T) {
+	a := New([]float64{1, 2, 3, 4, 5})
+	b := New([]float64{2, 4, 6, 8, 10})
+	out := ASCIICDF(40, 10, []string{"a", "b"}, []*Sample{a, b})
+	if out == "" {
+		t.Fatal("empty plot")
+	}
+	if len(out) < 100 {
+		t.Fatalf("implausibly small plot: %q", out)
+	}
+}
+
+func TestASCIICDFDegenerate(t *testing.T) {
+	if out := ASCIICDF(10, 5, []string{"a"}, []*Sample{New(nil)}); out != "" {
+		t.Fatalf("plot of empty sample = %q", out)
+	}
+	if out := ASCIICDF(10, 5, []string{"a", "b"}, []*Sample{New([]float64{1})}); out != "" {
+		t.Fatal("mismatched labels accepted")
+	}
+}

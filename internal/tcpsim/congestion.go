@@ -1,0 +1,146 @@
+package tcpsim
+
+import (
+	"math"
+
+	"repro/internal/sim"
+)
+
+// CongestionAlgorithm selects the sender's congestion-control algorithm.
+// Mahimahi's best-known follow-on use is congestion-control evaluation
+// (e.g. the Pantheon): hold the emulated network fixed and compare
+// algorithms reproducibly. tcpsim supports that workflow with two classic
+// loss-based algorithms.
+type CongestionAlgorithm int
+
+const (
+	// Reno is NewReno-style AIMD: slow start, congestion avoidance of
+	// +1 MSS/RTT, multiplicative decrease of 1/2.
+	Reno CongestionAlgorithm = iota
+	// Cubic is RFC 8312 CUBIC: window growth is a cubic function of time
+	// since the last loss, with multiplicative decrease of 0.7. The Linux
+	// default since 2.6.19.
+	Cubic
+)
+
+// String names the algorithm.
+func (a CongestionAlgorithm) String() string {
+	switch a {
+	case Reno:
+		return "reno"
+	case Cubic:
+		return "cubic"
+	}
+	return "unknown"
+}
+
+// CUBIC constants (RFC 8312): C in MSS/sec^3, beta multiplicative factor.
+const (
+	cubicC    = 0.4
+	cubicBeta = 0.7
+)
+
+// cubicState holds CUBIC's per-connection variables.
+type cubicState struct {
+	// wMax is the window (bytes) just before the last reduction.
+	wMax float64
+	// epochStart is when the current growth epoch began (zero = unset).
+	epochStart sim.Time
+	// k is the time (seconds) to grow back to wMax.
+	k float64
+}
+
+// growCwndCC applies the configured algorithm's window growth for newly
+// acked bytes. Slow start is common to both algorithms.
+func (c *Conn) growCwndCC(newly int) {
+	if c.cwnd < c.ssthresh {
+		// Slow start with appropriate byte counting (RFC 3465, L=2*MSS).
+		inc := newly
+		if inc > 2*MSS {
+			inc = 2 * MSS
+		}
+		c.cwnd += inc
+		if c.cwnd > c.ssthresh {
+			c.cwnd = c.ssthresh
+		}
+		if c.cwnd > ReceiveWindow {
+			c.cwnd = ReceiveWindow
+		}
+		return
+	}
+	switch c.cc {
+	case Cubic:
+		c.cubicGrow()
+	default:
+		// Reno congestion avoidance: ~one MSS per RTT.
+		inc := MSS * MSS / c.cwnd
+		if inc < 1 {
+			inc = 1
+		}
+		c.cwnd += inc
+	}
+	if c.cwnd > ReceiveWindow {
+		c.cwnd = ReceiveWindow
+	}
+}
+
+// cubicGrow advances the CUBIC window toward/past wMax.
+func (c *Conn) cubicGrow() {
+	now := c.stack.loop.Now()
+	if c.cubic.epochStart == 0 {
+		c.cubic.epochStart = now
+		if c.cubic.wMax < float64(c.cwnd) {
+			c.cubic.wMax = float64(c.cwnd)
+		}
+		// K = cubeRoot(Wmax*(1-beta)/C), with windows in MSS units.
+		wMaxSeg := c.cubic.wMax / MSS
+		c.cubic.k = math.Cbrt(wMaxSeg * (1 - cubicBeta) / cubicC)
+	}
+	t := (now - c.cubic.epochStart).Seconds()
+	// W(t) = C*(t-K)^3 + Wmax, in MSS units.
+	d := t - c.cubic.k
+	target := (cubicC*d*d*d + c.cubic.wMax/MSS) * MSS
+	if target < 2*MSS {
+		target = 2 * MSS
+	}
+	if int(target) > c.cwnd {
+		// Approach the cubic target over the next RTT's ACKs: move a
+		// fraction per ACK, bounded to stay ACK-clocked.
+		step := (int(target) - c.cwnd) / 8
+		if step < 1 {
+			step = 1
+		}
+		if step > MSS {
+			step = MSS
+		}
+		c.cwnd += step
+	} else {
+		// TCP-friendly floor: at least Reno's growth.
+		inc := MSS * MSS / c.cwnd
+		if inc < 1 {
+			inc = 1
+		}
+		c.cwnd += inc
+	}
+}
+
+// onLossCC applies the algorithm's multiplicative decrease, returning the
+// new ssthresh.
+func (c *Conn) onLossCC() int {
+	switch c.cc {
+	case Cubic:
+		c.cubic.wMax = float64(c.cwnd)
+		c.cubic.epochStart = 0
+		ss := int(float64(c.pipe()) * cubicBeta)
+		if ss < 2*MSS {
+			ss = 2 * MSS
+		}
+		return ss
+	default:
+		ss := c.pipe() / 2
+		if ss < 2*MSS {
+			ss = 2 * MSS
+		}
+		return ss
+	}
+}

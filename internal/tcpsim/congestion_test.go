@@ -1,0 +1,132 @@
+package tcpsim
+
+import (
+	"testing"
+
+	"repro/internal/netem"
+	"repro/internal/nsim"
+	"repro/internal/sim"
+)
+
+// ccNet builds a bottlenecked path (rate + delay + droptail) with the given
+// congestion algorithm on the server side.
+func ccNet(t *testing.T, cc CongestionAlgorithm, rate int64, delay sim.Time, queuePkts int) (*sim.Loop, *Stack, *Stack) {
+	t.Helper()
+	loop := sim.NewLoop()
+	net := nsim.NewNetwork(loop)
+	cns := net.NewNamespace("client")
+	sns := net.NewNamespace("server")
+	cns.AddAddress(clientAddr)
+	sns.AddAddress(serverAP.Addr)
+	mk := func() *netem.Pipeline {
+		return netem.NewPipeline(
+			netem.NewDelayBox(loop, delay),
+			netem.NewRateBox(loop, rate, netem.NewDropTail(queuePkts, 0)),
+		)
+	}
+	ec, es := nsim.Connect(cns, sns, mk(), mk())
+	cns.AddDefaultRoute(ec)
+	sns.AddDefaultRoute(es)
+	cs, ss := NewStack(cns), NewStack(sns)
+	ss.SetCongestion(cc)
+	return loop, cs, ss
+}
+
+// bulkDownload transfers size bytes and returns (completion time, server
+// conn).
+func bulkDownload(t *testing.T, loop *sim.Loop, cs, ss *Stack, size int) (sim.Time, *Conn) {
+	t.Helper()
+	var server *Conn
+	ss.Listen(serverAP, func(c *Conn) {
+		server = c
+		c.OnData(func([]byte) {})
+		c.Write(make([]byte, size))
+	})
+	conn, err := cs.Dial(clientAddr, serverAP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	received := 0
+	var done sim.Time
+	conn.OnData(func(p []byte) {
+		received += len(p)
+		if received == size {
+			done = loop.Now()
+		}
+	})
+	loop.Run()
+	if received != size {
+		t.Fatalf("received %d/%d", received, size)
+	}
+	return done, server
+}
+
+func TestCubicCompletesTransfers(t *testing.T) {
+	loop, cs, ss := ccNet(t, Cubic, 10_000_000, 20*sim.Millisecond, 64)
+	done, server := bulkDownload(t, loop, cs, ss, 4<<20)
+	goodput := float64(4<<20*8) / done.Seconds()
+	if goodput < 6_000_000 {
+		t.Fatalf("cubic goodput %.0f bit/s, want >6 Mbit/s", goodput)
+	}
+	if server.Statistics().Retransmits == 0 {
+		t.Log("note: no losses induced (queue big enough)")
+	}
+}
+
+func TestCubicRecoversAfterLoss(t *testing.T) {
+	// Small queue forces drops; CUBIC must still complete and keep decent
+	// utilization on a 20ms path.
+	loop, cs, ss := ccNet(t, Cubic, 10_000_000, 20*sim.Millisecond, 16)
+	done, server := bulkDownload(t, loop, cs, ss, 4<<20)
+	if server.Statistics().Retransmits == 0 {
+		t.Fatal("16-packet queue produced no losses; test vacuous")
+	}
+	goodput := float64(4<<20*8) / done.Seconds()
+	if goodput < 4_000_000 {
+		t.Fatalf("cubic goodput under loss %.0f bit/s, want >4 Mbit/s", goodput)
+	}
+}
+
+func TestCubicBeatsRenoOnHighBDP(t *testing.T) {
+	// CUBIC's raison d'être: on a high bandwidth-delay path with periodic
+	// losses, it regrows the window much faster than Reno's +1 MSS/RTT.
+	run := func(cc CongestionAlgorithm) sim.Time {
+		loop, cs, ss := ccNet(t, cc, 100_000_000, 50*sim.Millisecond, 96)
+		done, server := bulkDownload(t, loop, cs, ss, 24<<20)
+		if server.Statistics().Retransmits == 0 {
+			t.Fatalf("%v: no losses; comparison vacuous", cc)
+		}
+		return done
+	}
+	reno := run(Reno)
+	cubic := run(Cubic)
+	if cubic >= reno {
+		t.Fatalf("cubic (%v) not faster than reno (%v) on high-BDP lossy path", cubic, reno)
+	}
+}
+
+func TestAlgorithmsDeliverIdenticalBytes(t *testing.T) {
+	for _, cc := range []CongestionAlgorithm{Reno, Cubic} {
+		loop, cs, ss := ccNet(t, cc, 5_000_000, 30*sim.Millisecond, 8)
+		_, server := bulkDownload(t, loop, cs, ss, 1<<20)
+		if server.Statistics().BytesSent != 1<<20 {
+			t.Fatalf("%v: sent %d bytes", cc, server.Statistics().BytesSent)
+		}
+	}
+}
+
+func TestCongestionAlgorithmString(t *testing.T) {
+	if Reno.String() != "reno" || Cubic.String() != "cubic" {
+		t.Fatal("algorithm names wrong")
+	}
+	if CongestionAlgorithm(99).String() != "unknown" {
+		t.Fatal("unknown algorithm name wrong")
+	}
+}
+
+func TestStackCongestionAccessors(t *testing.T) {
+	_, _, ss := ccNet(t, Cubic, 1_000_000, sim.Millisecond, 4)
+	if ss.Congestion() != Cubic {
+		t.Fatal("Congestion() accessor wrong")
+	}
+}

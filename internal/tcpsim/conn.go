@@ -1,0 +1,808 @@
+package tcpsim
+
+import (
+	"errors"
+
+	"repro/internal/nsim"
+	"repro/internal/sim"
+)
+
+// State is a connection's lifecycle state.
+type State int
+
+// Connection states (a condensed version of the TCP state machine; the
+// TIME-WAIT and CLOSE-WAIT distinctions do not affect any measurement this
+// toolkit makes).
+const (
+	StateSynSent State = iota
+	StateSynRcvd
+	StateEstablished
+	StateClosing // FIN sent, waiting for everything to drain
+	StateClosed
+)
+
+// String names the state.
+func (s State) String() string {
+	switch s {
+	case StateSynSent:
+		return "syn-sent"
+	case StateSynRcvd:
+		return "syn-rcvd"
+	case StateEstablished:
+		return "established"
+	case StateClosing:
+		return "closing"
+	case StateClosed:
+		return "closed"
+	}
+	return "invalid"
+}
+
+// RTO bounds (RFC 6298 uses a 1 s minimum; 200 ms is the widely deployed
+// Linux value and keeps simulated tail latencies realistic).
+const (
+	minRTO         = 200 * sim.Millisecond
+	maxRTO         = 60 * sim.Second
+	initialRTO     = 1 * sim.Second
+	rtoGranularity = 50 * sim.Millisecond // RFC 6298's "G"
+)
+
+// Stats counts per-connection activity.
+type Stats struct {
+	BytesSent       uint64
+	BytesReceived   uint64
+	SegmentsSent    uint64
+	SegmentsRcvd    uint64
+	Retransmits     uint64
+	FastRetransmits uint64
+	Timeouts        uint64
+	// SRTT is the smoothed RTT estimate (zero before the first sample).
+	SRTT sim.Time
+}
+
+// sentSeg tracks an unacknowledged segment for retransmission.
+type sentSeg struct {
+	seg      *Segment
+	sentAt   sim.Time
+	rexmited bool // ever retransmitted (Karn: no RTT sample)
+	// sacked marks the segment as held by the receiver (SACK); it must not
+	// be retransmitted and does not count toward the pipe.
+	sacked bool
+	// inFlight marks the segment as currently believed to be in the
+	// network. Loss detection (SACK holes, RTO) clears it; pump()
+	// retransmits segments that are neither sacked nor in flight.
+	inFlight bool
+}
+
+// Conn is one endpoint of a TCP connection. All methods must be called from
+// event-loop context (the entire simulation is single-goroutine).
+type Conn struct {
+	stack  *Stack
+	local  nsim.AddrPort
+	remote nsim.AddrPort
+	server bool
+	flow   uint64
+	state  State
+
+	// Sender state.
+	sndUna   uint64 // oldest unacknowledged sequence number
+	sndNxt   uint64 // next sequence number to use
+	sendBuf  []byte // app data not yet segmented
+	rtxq     []sentSeg
+	cwnd     int
+	ssthresh int
+	dupAcks  int
+	// Congestion-control algorithm state.
+	cc    CongestionAlgorithm
+	cubic cubicState
+	// pipeBytes incrementally tracks pipe(): sequence space of tracked
+	// segments that are in flight and not SACKed. Kept in sync by every
+	// transition of a sentSeg's inFlight/sacked bits.
+	pipeBytes int
+	// holeIdx is a scan cursor into rtxq for retransmitNextHole; reset
+	// whenever new losses are marked or the queue is compacted.
+	holeIdx int
+	// SACK-based fast recovery.
+	inRecovery    bool
+	recoverSeq    uint64
+	recoveryStart sim.Time
+	highSack      uint64 // highest sequence the receiver has SACKed
+	// FIN bookkeeping.
+	appClosed bool
+	finSent   bool
+
+	// Receiver state.
+	rcvNxt uint64
+	ooo    map[uint64]*Segment
+	// sackList is the sorted, disjoint set of out-of-order byte ranges the
+	// receiver holds, maintained incrementally so ACK generation is O(1)
+	// in the common case.
+	sackList []SackRange
+	peerFin    bool
+	peerFinSeq uint64
+
+	// RTO state.
+	srtt, rttvar sim.Time
+	rto          sim.Time
+	rtoTimer     *sim.Event
+
+	stats Stats
+
+	acceptFn      func(*Conn)
+	onEstablished func()
+	onData        func([]byte)
+	onClose       func(error)
+	closedErr     error
+	closeNotified bool
+}
+
+func newConn(s *Stack, local, remote nsim.AddrPort, server bool) *Conn {
+	st := StateSynSent
+	if server {
+		st = StateSynRcvd
+	}
+	return &Conn{
+		cc:       s.cc,
+		stack:    s,
+		local:    local,
+		remote:   remote,
+		server:   server,
+		flow:     s.ns.Network().NextFlow(),
+		state:    st,
+		cwnd:     InitialWindow,
+		ssthresh: ReceiveWindow,
+		ooo:      make(map[uint64]*Segment),
+		rto:      initialRTO,
+	}
+}
+
+// LocalAddr returns the connection's local endpoint.
+func (c *Conn) LocalAddr() nsim.AddrPort { return c.local }
+
+// RemoteAddr returns the connection's remote endpoint.
+func (c *Conn) RemoteAddr() nsim.AddrPort { return c.remote }
+
+// State returns the connection state.
+func (c *Conn) State() State { return c.state }
+
+// Statistics returns a snapshot of the connection's counters.
+func (c *Conn) Statistics() Stats {
+	st := c.stats
+	st.SRTT = c.srtt
+	return st
+}
+
+// Cwnd returns the current congestion window in bytes, for tests and
+// instrumentation.
+func (c *Conn) Cwnd() int { return c.cwnd }
+
+// OnEstablished registers a callback invoked once when the handshake
+// completes. If the connection is already established it fires on the next
+// loop tick.
+func (c *Conn) OnEstablished(fn func()) {
+	if c.state == StateEstablished || c.state == StateClosing {
+		c.stack.loop.Schedule(0, func(sim.Time) { fn() })
+		return
+	}
+	c.onEstablished = fn
+}
+
+// OnData registers the in-order data delivery callback.
+func (c *Conn) OnData(fn func([]byte)) { c.onData = fn }
+
+// OnClose registers a callback invoked when the connection fully closes;
+// err is nil for a clean close.
+func (c *Conn) OnClose(fn func(error)) {
+	if c.state == StateClosed {
+		err := c.closedErr
+		c.stack.loop.Schedule(0, func(sim.Time) { fn(err) })
+		return
+	}
+	c.onClose = fn
+}
+
+// Write queues application data for transmission. Data written before the
+// handshake completes is buffered.
+func (c *Conn) Write(p []byte) error {
+	if c.appClosed || c.state == StateClosed {
+		return errors.New("tcpsim: write on closed connection")
+	}
+	c.sendBuf = append(c.sendBuf, p...)
+	c.pump()
+	return nil
+}
+
+// Close initiates a graceful close: buffered data is sent, followed by a
+// FIN.
+func (c *Conn) Close() {
+	if c.appClosed {
+		return
+	}
+	c.appClosed = true
+	c.pump()
+}
+
+// Abort tears the connection down immediately, sending an RST.
+func (c *Conn) Abort() {
+	if c.state == StateClosed {
+		return
+	}
+	c.transmit(&Segment{Flags: FlagRST, Seq: c.sndNxt, Ack: c.rcvNxt})
+	c.teardown(errors.New("tcpsim: connection aborted"))
+}
+
+// sendSYN starts the client handshake.
+func (c *Conn) sendSYN() {
+	syn := &Segment{Flags: FlagSYN, Seq: 0}
+	c.sndNxt = 1
+	c.track(syn)
+	c.transmit(syn)
+	c.armRTO()
+}
+
+// inflight is the number of unacknowledged bytes in the network.
+func (c *Conn) inflight() int { return int(c.sndNxt - c.sndUna) }
+
+// pump transmits as much buffered data as the congestion window allows,
+// then a FIN if the application has closed and the buffer drained. During
+// fast recovery it first fills SACK holes (RFC 6675-style pipe algorithm).
+func (c *Conn) pump() {
+	if c.state != StateEstablished && c.state != StateClosing {
+		return // handshake still in progress; Write buffered the data
+	}
+	// Retransmit inferred-lost segments before sending new data.
+	for c.pipe()+MSS <= c.cwnd {
+		if !c.retransmitNextHole() {
+			break
+		}
+	}
+	for len(c.sendBuf) > 0 && c.pipe()+MSS <= c.cwnd {
+		n := len(c.sendBuf)
+		if n > MSS {
+			n = MSS
+		}
+		data := make([]byte, n)
+		copy(data, c.sendBuf)
+		c.sendBuf = c.sendBuf[n:]
+		seg := &Segment{Flags: FlagACK, Seq: c.sndNxt, Ack: c.rcvNxt, Data: data}
+		c.sndNxt += uint64(n)
+		c.track(seg)
+		c.transmit(seg)
+		c.stats.BytesSent += uint64(n)
+	}
+	if c.appClosed && len(c.sendBuf) == 0 && !c.finSent {
+		fin := &Segment{Flags: FlagFIN | FlagACK, Seq: c.sndNxt, Ack: c.rcvNxt}
+		c.sndNxt++
+		c.finSent = true
+		if c.state == StateEstablished {
+			c.state = StateClosing
+		}
+		c.track(fin)
+		c.transmit(fin)
+	}
+	if c.inflight() > 0 {
+		c.armRTO()
+	}
+	c.maybeFinish()
+}
+
+// track records a sequence-consuming segment for retransmission.
+func (c *Conn) track(seg *Segment) {
+	c.rtxq = append(c.rtxq, sentSeg{seg: seg, sentAt: c.stack.loop.Now(), inFlight: true})
+	c.pipeBytes += int(seg.SeqLen())
+}
+
+// transmit sends a segment, counting it.
+func (c *Conn) transmit(seg *Segment) {
+	c.stats.SegmentsSent++
+	// Route errors (no route mid-simulation) surface as a teardown rather
+	// than a panic: the shell topology is static, so this indicates the
+	// experiment destroyed the namespace early.
+	if err := c.stack.send(c, seg); err != nil {
+		c.teardown(err)
+	}
+}
+
+// handleSegment is the single entry point for inbound segments.
+func (c *Conn) handleSegment(seg *Segment) {
+	if c.state == StateClosed {
+		return
+	}
+	c.stats.SegmentsRcvd++
+	if seg.Flags&FlagRST != 0 {
+		c.teardown(errors.New("tcpsim: connection reset by peer"))
+		return
+	}
+
+	switch c.state {
+	case StateSynSent:
+		// Expect SYN-ACK.
+		if seg.Flags&FlagSYN != 0 && seg.Flags&FlagACK != 0 && seg.Ack >= 1 {
+			c.rcvNxt = seg.Seq + 1
+			c.processAck(seg.Ack, false)
+			c.establish()
+			c.sendAck()
+			c.pump()
+		}
+		return
+	case StateSynRcvd:
+		if seg.Flags&FlagSYN != 0 && seg.Flags&FlagACK == 0 {
+			// (Possibly retransmitted) client SYN: reply SYN-ACK.
+			if c.sndNxt == 0 {
+				c.rcvNxt = seg.Seq + 1
+				synAck := &Segment{Flags: FlagSYN | FlagACK, Seq: 0, Ack: c.rcvNxt}
+				c.sndNxt = 1
+				c.track(synAck)
+				c.transmit(synAck)
+				c.armRTO()
+			} else if len(c.rtxq) > 0 {
+				// Retransmitted SYN: re-send the SYN-ACK.
+				c.markSegLost(0)
+				c.retransmitNextHole()
+			}
+			return
+		}
+		if seg.Flags&FlagACK != 0 && seg.Ack >= 1 {
+			c.processAck(seg.Ack, false)
+			c.establish()
+			// Fall through to process any piggybacked data.
+		} else {
+			return
+		}
+	}
+
+	if c.state == StateClosed {
+		return // a callback above (e.g. Abort inside OnEstablished) closed us
+	}
+	// Established / closing path.
+	if seg.Flags&FlagACK != 0 {
+		c.markSacked(seg.Sack)
+		// Only a pure ACK (no sequence-consuming payload) can be a
+		// duplicate ACK (RFC 5681): segments that carry data piggyback a
+		// possibly stale ack number and must not trigger fast retransmit.
+		c.processAck(seg.Ack, seg.SeqLen() == 0)
+	}
+	if c.state == StateClosed {
+		return
+	}
+	if seg.SeqLen() > 0 && seg.Flags&FlagSYN == 0 {
+		c.processData(seg)
+	}
+	c.pump()
+}
+
+// markSacked records receiver-held ranges against the retransmit queue.
+func (c *Conn) markSacked(ranges []SackRange) {
+	if len(ranges) == 0 {
+		return
+	}
+	for _, r := range ranges {
+		if r.End > c.highSack {
+			c.highSack = r.End
+		}
+	}
+	for i := range c.rtxq {
+		ss := &c.rtxq[i]
+		if ss.sacked {
+			continue
+		}
+		start, end := ss.seg.Seq, ss.seg.Seq+ss.seg.SeqLen()
+		for _, r := range ranges {
+			if start >= r.Start && end <= r.End {
+				ss.sacked = true
+				if ss.inFlight {
+					c.pipeBytes -= int(ss.seg.SeqLen())
+				}
+				break
+			}
+		}
+	}
+	if c.inRecovery {
+		c.markLost()
+	}
+}
+
+// markSegLost clears one segment's in-flight bit, keeping the pipe counter
+// and the hole-scan cursor consistent.
+func (c *Conn) markSegLost(i int) {
+	ss := &c.rtxq[i]
+	if ss.inFlight && !ss.sacked {
+		c.pipeBytes -= int(ss.seg.SeqLen())
+	}
+	ss.inFlight = false
+	if i < c.holeIdx {
+		c.holeIdx = i
+	}
+}
+
+// markLost clears the in-flight bit of original transmissions that have
+// SACKed data above them — the SACK analogue of three-dup-ACK loss
+// inference. Retransmissions made during this recovery (sentAt after
+// recoveryStart) are left in flight.
+func (c *Conn) markLost() {
+	for i := range c.rtxq {
+		ss := &c.rtxq[i]
+		if ss.sacked || !ss.inFlight {
+			continue
+		}
+		end := ss.seg.Seq + ss.seg.SeqLen()
+		if end <= c.highSack && ss.sentAt <= c.recoveryStart {
+			ss.inFlight = false
+			c.pipeBytes -= int(ss.seg.SeqLen())
+			if i < c.holeIdx {
+				c.holeIdx = i
+			}
+		}
+	}
+}
+
+// pipe is the sender's estimate of bytes outstanding in the network:
+// tracked segments that are in flight and not SACKed. Maintained
+// incrementally (see pipeBytes) so the send path stays O(1) per segment.
+func (c *Conn) pipe() int { return c.pipeBytes }
+
+// establish transitions to the established state and fires callbacks.
+func (c *Conn) establish() {
+	if c.state != StateSynSent && c.state != StateSynRcvd {
+		return
+	}
+	c.state = StateEstablished
+	if c.server && c.acceptFn != nil {
+		fn := c.acceptFn
+		c.acceptFn = nil
+		fn(c)
+	}
+	if c.onEstablished != nil {
+		fn := c.onEstablished
+		c.onEstablished = nil
+		fn()
+	}
+}
+
+// processAck handles the cumulative acknowledgment field. pureAck reports
+// whether the carrying segment consumed no sequence space (only such
+// segments count toward duplicate-ACK loss detection).
+func (c *Conn) processAck(ack uint64, pureAck bool) {
+	if ack > c.sndNxt {
+		return // acks data we never sent; ignore
+	}
+	if ack > c.sndUna {
+		newly := int(ack - c.sndUna)
+		c.sndUna = ack
+		c.dupAcks = 0
+		c.reapAcked(ack)
+		if c.inRecovery {
+			if ack >= c.recoverSeq {
+				// Full ACK: exit recovery.
+				c.exitRecovery()
+			}
+			// Partial ACK: stay in recovery; pump() fills remaining holes.
+		} else {
+			c.growCwndCC(newly)
+		}
+		if c.inflight() > 0 {
+			c.armRTO()
+		} else if c.rtoTimer != nil {
+			c.rtoTimer.Cancel()
+			c.rtoTimer = nil
+		}
+		c.maybeFinish()
+		return
+	}
+	// Duplicate ACK (only pure ACKs count, and only with data outstanding).
+	if pureAck && ack == c.sndUna && c.inflight() > 0 {
+		c.dupAcks++
+		if !c.inRecovery && c.dupAcks == 3 {
+			c.enterFastRecovery()
+		}
+	}
+}
+
+// exitRecovery leaves fast recovery, deflating the window to ssthresh.
+func (c *Conn) exitRecovery() {
+	c.inRecovery = false
+	c.cwnd = c.ssthresh
+}
+
+// enterFastRecovery performs fast retransmit (three duplicate ACKs).
+func (c *Conn) enterFastRecovery() {
+	c.inRecovery = true
+	c.recoverSeq = c.sndNxt
+	c.recoveryStart = c.stack.loop.Now()
+	c.stats.FastRetransmits++
+	c.markLost()
+	if c.pipe() == int(c.sndNxt-c.sndUna) && len(c.rtxq) > 0 {
+		// No SACK information marked anything lost (pure duplicate ACKs):
+		// infer the head segment is lost, as classic fast retransmit does.
+		for i := range c.rtxq {
+			if !c.rtxq[i].sacked {
+				c.markSegLost(i)
+				break
+			}
+		}
+	}
+	c.ssthresh = c.onLossCC()
+	c.cwnd = c.ssthresh
+	c.retransmitNextHole() // fill at least the first hole immediately
+}
+
+// retransmitNextHole re-sends the oldest segment that is neither SACKed nor
+// believed in flight. It reports whether a segment was sent.
+func (c *Conn) retransmitNextHole() bool {
+	for ; c.holeIdx < len(c.rtxq); c.holeIdx++ {
+		ss := &c.rtxq[c.holeIdx]
+		if ss.sacked || ss.inFlight {
+			continue
+		}
+		ss.inFlight = true
+		c.pipeBytes += int(ss.seg.SeqLen())
+		ss.rexmited = true
+		ss.sentAt = c.stack.loop.Now()
+		ss.seg.Ack = c.rcvNxt
+		c.stats.Retransmits++
+		c.transmit(ss.seg)
+		c.armRTO()
+		return true
+	}
+	return false
+}
+
+
+// reapAcked removes fully acknowledged segments from the retransmit queue
+// and samples RTT from non-retransmitted ones (Karn's algorithm).
+func (c *Conn) reapAcked(ack uint64) {
+	now := c.stack.loop.Now()
+	keep := c.rtxq[:0]
+	for _, ss := range c.rtxq {
+		end := ss.seg.Seq + ss.seg.SeqLen()
+		if end <= ack {
+			if !ss.rexmited {
+				c.sampleRTT(now - ss.sentAt)
+			}
+			if ss.inFlight && !ss.sacked {
+				c.pipeBytes -= int(ss.seg.SeqLen())
+			}
+			continue
+		}
+		keep = append(keep, ss)
+	}
+	if len(keep) != len(c.rtxq) {
+		c.holeIdx = 0 // indices shifted; rescan
+	}
+	c.rtxq = keep
+}
+
+// sampleRTT updates the RFC 6298 estimator.
+func (c *Conn) sampleRTT(r sim.Time) {
+	if r < 0 {
+		return
+	}
+	if c.srtt == 0 {
+		c.srtt = r
+		c.rttvar = r / 2
+	} else {
+		d := c.srtt - r
+		if d < 0 {
+			d = -d
+		}
+		c.rttvar = (3*c.rttvar + d) / 4
+		c.srtt = (7*c.srtt + r) / 8
+	}
+	// RFC 6298: RTO = SRTT + max(G, 4*RTTVAR). The granularity term G
+	// keeps RTO strictly above a stable path's RTT even as RTTVAR decays
+	// to zero — without it, a timer scheduled for exactly one RTT races
+	// the returning ACK and fires spuriously.
+	v := 4 * c.rttvar
+	if v < rtoGranularity {
+		v = rtoGranularity
+	}
+	c.rto = c.srtt + v
+	if c.rto < minRTO {
+		c.rto = minRTO
+	}
+	if c.rto > maxRTO {
+		c.rto = maxRTO
+	}
+}
+
+// armRTO (re)starts the retransmission timer.
+func (c *Conn) armRTO() {
+	if c.rtoTimer != nil {
+		c.rtoTimer.Cancel()
+	}
+	c.rtoTimer = c.stack.loop.Schedule(c.rto, c.onRTO)
+}
+
+// onRTO handles a retransmission timeout.
+func (c *Conn) onRTO(sim.Time) {
+	c.rtoTimer = nil
+	if c.state == StateClosed || c.inflight() == 0 {
+		return
+	}
+	c.stats.Timeouts++
+	c.ssthresh = c.onLossCC()
+	c.cwnd = MSS
+	c.dupAcks = 0
+	c.inRecovery = false
+	// Everything un-SACKed is presumed lost and will be retransmitted in
+	// slow start (go-back-N style, as TCP does after an RTO).
+	for i := range c.rtxq {
+		ss := &c.rtxq[i]
+		if !ss.sacked && ss.inFlight {
+			ss.inFlight = false
+			c.pipeBytes -= int(ss.seg.SeqLen())
+		}
+	}
+	c.holeIdx = 0
+	c.rto *= 2
+	if c.rto > maxRTO {
+		c.rto = maxRTO
+	}
+	c.retransmitNextHole()
+}
+
+// processData handles the sequence-consuming part of a segment.
+func (c *Conn) processData(seg *Segment) {
+	end := seg.Seq + seg.SeqLen()
+	if end <= c.rcvNxt {
+		// Entirely old: retransmitted data we already have. Re-ACK.
+		c.sendAck()
+		return
+	}
+	if seg.Seq > c.rcvNxt {
+		// Out of order: buffer and send duplicate ACK.
+		if _, ok := c.ooo[seg.Seq]; !ok {
+			c.ooo[seg.Seq] = seg
+			c.noteOOO(SackRange{Start: seg.Seq, End: seg.Seq + seg.SeqLen()})
+		}
+		c.sendAck()
+		return
+	}
+	c.absorb(seg)
+	// Drain now-contiguous out-of-order segments. Segment boundaries align
+	// across retransmissions (a retransmit resends the identical segment),
+	// so exact-sequence matching suffices.
+	for {
+		next, ok := c.ooo[c.rcvNxt]
+		if !ok {
+			for s, sg := range c.ooo {
+				if s+sg.SeqLen() <= c.rcvNxt {
+					delete(c.ooo, s) // stale duplicate
+				}
+			}
+			break
+		}
+		delete(c.ooo, c.rcvNxt)
+		c.absorb(next)
+	}
+	c.sendAck()
+	c.maybeFinish()
+}
+
+// absorb consumes an in-sequence (possibly partially duplicate) segment,
+// delivering new data and handling a FIN.
+func (c *Conn) absorb(seg *Segment) {
+	dataEnd := seg.Seq + uint64(len(seg.Data))
+	if dataEnd > c.rcvNxt {
+		data := seg.Data
+		if seg.Seq < c.rcvNxt {
+			data = data[c.rcvNxt-seg.Seq:]
+		}
+		c.rcvNxt = dataEnd
+		c.stats.BytesReceived += uint64(len(data))
+		if c.onData != nil && len(data) > 0 {
+			c.onData(data)
+		}
+	}
+	if seg.Flags&FlagFIN != 0 {
+		if !c.peerFin {
+			c.peerFin = true
+			c.peerFinSeq = dataEnd
+		}
+		if c.rcvNxt == dataEnd {
+			c.rcvNxt = dataEnd + 1 // the FIN consumes one sequence number
+		}
+	}
+}
+
+// sendAck emits a pure ACK carrying SACK ranges for any out-of-order data
+// held in the reassembly buffer.
+func (c *Conn) sendAck() {
+	if c.state == StateClosed {
+		return
+	}
+	c.transmit(&Segment{Flags: FlagACK, Seq: c.sndNxt, Ack: c.rcvNxt, Sack: c.sackRanges()})
+}
+
+// noteOOO merges a newly buffered out-of-order range into the sorted,
+// disjoint sackList.
+func (c *Conn) noteOOO(r SackRange) {
+	// Binary search for the insertion point.
+	lo, hi := 0, len(c.sackList)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if c.sackList[mid].Start < r.Start {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	// Merge with predecessor if touching.
+	i := lo
+	if i > 0 && c.sackList[i-1].End >= r.Start {
+		i--
+		if r.End > c.sackList[i].End {
+			c.sackList[i].End = r.End
+		}
+	} else {
+		c.sackList = append(c.sackList, SackRange{})
+		copy(c.sackList[i+1:], c.sackList[i:])
+		c.sackList[i] = r
+	}
+	// Merge any successors swallowed by the (possibly grown) range.
+	j := i + 1
+	for j < len(c.sackList) && c.sackList[j].Start <= c.sackList[i].End {
+		if c.sackList[j].End > c.sackList[i].End {
+			c.sackList[i].End = c.sackList[j].End
+		}
+		j++
+	}
+	if j > i+1 {
+		c.sackList = append(c.sackList[:i+1], c.sackList[j:]...)
+	}
+}
+
+// sackRanges reports the receiver's out-of-order ranges (up to a small
+// cap, like real TCP's SACK option), dropping ranges already covered by
+// the cumulative ack.
+func (c *Conn) sackRanges() []SackRange {
+	// Drop fully delivered ranges from the front.
+	k := 0
+	for k < len(c.sackList) && c.sackList[k].End <= c.rcvNxt {
+		k++
+	}
+	if k > 0 {
+		c.sackList = c.sackList[k:]
+	}
+	if len(c.sackList) == 0 {
+		return nil
+	}
+	n := len(c.sackList)
+	if n > 8 {
+		n = 8
+	}
+	out := make([]SackRange, n)
+	copy(out, c.sackList[:n])
+	return out
+}
+
+// maybeFinish closes the connection once both directions are done: our FIN
+// is acknowledged and the peer's FIN has been received.
+func (c *Conn) maybeFinish() {
+	if c.state == StateClosed {
+		return
+	}
+	ourSideDone := c.finSent && c.sndUna == c.sndNxt
+	if ourSideDone && c.peerFin {
+		c.teardown(nil)
+	}
+}
+
+// teardown finalizes the connection.
+func (c *Conn) teardown(err error) {
+	if c.state == StateClosed {
+		return
+	}
+	c.state = StateClosed
+	c.closedErr = err
+	if c.rtoTimer != nil {
+		c.rtoTimer.Cancel()
+		c.rtoTimer = nil
+	}
+	c.stack.drop(c)
+	if c.onClose != nil && !c.closeNotified {
+		c.closeNotified = true
+		fn := c.onClose
+		c.stack.loop.Schedule(0, func(sim.Time) { fn(err) })
+	}
+}

@@ -1,0 +1,162 @@
+package tcpsim
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/nsim"
+	"repro/internal/sim"
+)
+
+// fourTuple identifies a connection from the stack's perspective.
+type fourTuple struct {
+	local, remote nsim.AddrPort
+}
+
+// Stack is the per-namespace TCP engine: it demultiplexes incoming
+// datagrams to connections and listeners. One namespace has at most one
+// Stack.
+type Stack struct {
+	ns        *nsim.Namespace
+	loop      *sim.Loop
+	cc        CongestionAlgorithm
+	conns     map[fourTuple]*Conn
+	listeners map[nsim.AddrPort]func(*Conn)
+	boundPort map[uint16]bool // listener ports already bound on the namespace
+}
+
+// SetCongestion selects the congestion-control algorithm for connections
+// created after the call (default Reno).
+func (s *Stack) SetCongestion(cc CongestionAlgorithm) { s.cc = cc }
+
+// Congestion reports the stack's configured algorithm.
+func (s *Stack) Congestion() CongestionAlgorithm { return s.cc }
+
+// NewStack creates a TCP engine for the namespace.
+func NewStack(ns *nsim.Namespace) *Stack {
+	return &Stack{
+		ns:        ns,
+		loop:      ns.Network().Loop(),
+		conns:     make(map[fourTuple]*Conn),
+		listeners: make(map[nsim.AddrPort]func(*Conn)),
+		boundPort: make(map[uint16]bool),
+	}
+}
+
+// Namespace returns the stack's namespace.
+func (s *Stack) Namespace() *nsim.Namespace { return s.ns }
+
+// Loop returns the stack's event loop.
+func (s *Stack) Loop() *sim.Loop { return s.loop }
+
+// Listen registers accept for new connections to ap. A zero ap.Addr
+// listens on every local address. accept is invoked once per established
+// connection.
+func (s *Stack) Listen(ap nsim.AddrPort, accept func(*Conn)) error {
+	if accept == nil {
+		return errors.New("tcpsim: Listen with nil accept")
+	}
+	if _, ok := s.listeners[ap]; ok {
+		return fmt.Errorf("tcpsim: already listening on %s", ap)
+	}
+	if !s.boundPort[ap.Port] {
+		// Bind the port as a wildcard on the namespace once; the stack
+		// demuxes to exact listeners itself so that ReplayShell can listen
+		// on hundreds of (addr, port) pairs cheaply.
+		if err := s.ns.Bind(nsim.AddrPort{Addr: 0, Port: ap.Port}, s.receive); err != nil {
+			return err
+		}
+		s.boundPort[ap.Port] = true
+	}
+	s.listeners[ap] = accept
+	return nil
+}
+
+// Dial opens a connection from laddr (a local address of the namespace) to
+// raddr. The returned Conn is in SYN-SENT state; OnEstablished fires when
+// the handshake completes. Data written before establishment is buffered.
+func (s *Stack) Dial(laddr nsim.Addr, raddr nsim.AddrPort) (*Conn, error) {
+	var c *Conn
+	lap, err := s.ns.BindEphemeral(laddr, func(dg *nsim.Datagram) {
+		// The ephemeral port receives only this connection's segments.
+		if c != nil {
+			seg, ok := dg.Payload.(*Segment)
+			if !ok {
+				return
+			}
+			c.handleSegment(seg)
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	c = newConn(s, lap, raddr, false)
+	s.conns[fourTuple{lap, raddr}] = c
+	c.sendSYN()
+	return c, nil
+}
+
+// DeliverIntercepted feeds a datagram that was transparently redirected to
+// this stack (via nsim's intercept hook) as though it had arrived on a
+// listening port. RecordShell uses this to terminate connections addressed
+// to arbitrary origin addresses.
+func (s *Stack) DeliverIntercepted(dg *nsim.Datagram) { s.receive(dg) }
+
+// receive demuxes an inbound datagram on a listening port.
+func (s *Stack) receive(dg *nsim.Datagram) {
+	seg, ok := dg.Payload.(*Segment)
+	if !ok {
+		return
+	}
+	key := fourTuple{local: dg.Dst, remote: dg.Src}
+	if c, ok := s.conns[key]; ok {
+		c.handleSegment(seg)
+		return
+	}
+	// New connection? Must be a SYN to a listener.
+	if seg.Flags&FlagSYN == 0 || seg.Flags&FlagACK != 0 {
+		return // stray segment for a dead connection; drop
+	}
+	accept := s.lookupListener(dg.Dst)
+	if accept == nil {
+		return // port bound but no listener for this address: drop (RST-less)
+	}
+	c := newConn(s, dg.Dst, dg.Src, true)
+	c.acceptFn = accept
+	s.conns[key] = c
+	c.handleSegment(seg)
+}
+
+func (s *Stack) lookupListener(ap nsim.AddrPort) func(*Conn) {
+	if fn, ok := s.listeners[ap]; ok {
+		return fn
+	}
+	if fn, ok := s.listeners[nsim.AddrPort{Addr: 0, Port: ap.Port}]; ok {
+		return fn
+	}
+	return nil
+}
+
+// drop removes a closed connection from the table and releases its
+// ephemeral port.
+func (s *Stack) drop(c *Conn) {
+	delete(s.conns, fourTuple{c.local, c.remote})
+	if !c.server {
+		s.ns.Unbind(c.local)
+	}
+}
+
+// send transmits a segment for the connection.
+func (s *Stack) send(c *Conn, seg *Segment) error {
+	return s.ns.Send(&nsim.Datagram{
+		Src:     c.local,
+		Dst:     c.remote,
+		Size:    seg.WireSize(),
+		Flow:    c.flow,
+		Seq:     int64(seg.Seq),
+		Payload: seg,
+	})
+}
+
+// Conns reports the number of live connections.
+func (s *Stack) Conns() int { return len(s.conns) }

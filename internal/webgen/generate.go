@@ -1,0 +1,308 @@
+package webgen
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/nsim"
+	"repro/internal/sim"
+)
+
+// Profile parameterizes page generation.
+type Profile struct {
+	// Name labels the page (doubles as the primary hostname's site name).
+	Name string
+	// Servers is the number of distinct origin servers.
+	Servers int
+	// Resources is the approximate number of resources on the page.
+	Resources int
+	// HTMLSize is the root document's size in bytes.
+	HTMLSize int
+	// MedianObject is the median object size in bytes; object sizes are
+	// log-normal around it.
+	MedianObject int
+	// SigmaObject is the log-normal sigma for object sizes.
+	SigmaObject float64
+	// CPUPerKB is the parse/execute cost charged per KB of CSS/JS.
+	CPUPerKB sim.Time
+	// HTTPSShare is the fraction of origins served over HTTPS (port 443).
+	HTTPSShare float64
+}
+
+// Named profiles approximating the paper's measured sites. Resource counts
+// and weights are set so relative page load times land near Table 1's
+// ratios (CNBC ≈ 1.6× wikiHow) under the reference network conditions.
+func CNBCLike() Profile {
+	return Profile{
+		Name: "www.cnbc.com", Servers: 32, Resources: 88,
+		HTMLSize: 110 << 10, MedianObject: 14 << 10, SigmaObject: 1.1,
+		CPUPerKB: 250 * sim.Microsecond, HTTPSShare: 0.2,
+	}
+}
+
+func WikiHowLike() Profile {
+	return Profile{
+		Name: "www.wikihow.com", Servers: 12, Resources: 70,
+		HTMLSize: 70 << 10, MedianObject: 11 << 10, SigmaObject: 1.0,
+		CPUPerKB: 220 * sim.Microsecond, HTTPSShare: 0.1,
+	}
+}
+
+func NYTimesLike() Profile {
+	return Profile{
+		Name: "www.nytimes.com", Servers: 30, Resources: 110,
+		HTMLSize: 120 << 10, MedianObject: 13 << 10, SigmaObject: 1.1,
+		CPUPerKB: 250 * sim.Microsecond, HTTPSShare: 0.2,
+	}
+}
+
+// DefaultProfile is a mid-weight page for generic corpus entries.
+func DefaultProfile(name string, servers int) Profile {
+	return Profile{
+		Name: name, Servers: servers, Resources: 20 + servers*4,
+		HTMLSize: 60 << 10, MedianObject: 12 << 10, SigmaObject: 1.0,
+		CPUPerKB: 220 * sim.Microsecond, HTTPSShare: 0.15,
+	}
+}
+
+// subdomain pools used to spread resources across origins.
+var thirdPartyKinds = []string{"cdn", "static", "img", "ads", "api", "fonts", "metrics", "media"}
+
+// GeneratePage synthesizes one page from a profile. Generation is
+// deterministic in (rng state, profile).
+func GeneratePage(rng *sim.Rand, p Profile) *Page {
+	if p.Servers < 1 {
+		p.Servers = 1
+	}
+	if p.Resources < 1 {
+		p.Resources = 1
+	}
+	page := &Page{Name: p.Name, Origins: map[string]nsim.Addr{}}
+
+	// Hostnames: the primary plus one per extra server, mixing subdomains
+	// of the site with third parties.
+	site := trimWWW(p.Name)
+	hosts := make([]string, 0, p.Servers)
+	ports := make([]uint16, 0, p.Servers)
+	schemes := make([]string, 0, p.Servers)
+	hosts = append(hosts, p.Name)
+	for i := 1; i < p.Servers; i++ {
+		kind := thirdPartyKinds[rng.Intn(len(thirdPartyKinds))]
+		var h string
+		if rng.Float64() < 0.5 {
+			h = fmt.Sprintf("%s%d.%s", kind, i, site)
+		} else {
+			h = fmt.Sprintf("%s.thirdparty%d.com", kind, i)
+		}
+		hosts = append(hosts, h)
+	}
+	for range hosts {
+		if rng.Float64() < p.HTTPSShare {
+			ports = append(ports, 443)
+			schemes = append(schemes, "https")
+		} else {
+			ports = append(ports, 80)
+			schemes = append(schemes, "http")
+		}
+	}
+	for i, h := range hosts {
+		page.Origins[h] = originAddr(rng, i)
+	}
+
+	// Root document.
+	page.Resources = append(page.Resources, Resource{
+		Scheme: schemes[0], Host: hosts[0], Port: ports[0], Path: "/",
+		Size: jitterSize(rng, p.HTMLSize, 0.1), Type: HTML, Parent: -1,
+		CPU: cpuFor(p, p.HTMLSize),
+	})
+
+	// Remaining resources: mixture of types with realistic shares,
+	// assigned to origins with the primary site favored.
+	n := p.Resources - 1
+	for i := 0; i < n; i++ {
+		typ := pickType(rng)
+		origin := pickOrigin(rng, p.Servers)
+		size := sampleSize(rng, p, typ)
+		res := Resource{
+			Scheme: schemes[origin], Host: hosts[origin], Port: ports[origin],
+			Path: fmt.Sprintf("/%s/res%03d.%s", typ, i, ext(typ)),
+			Size: size, Type: typ, Parent: 0,
+			DiscoverAt: discoverPoint(rng, typ),
+			CPU:        cpuFor(p, size),
+		}
+		page.Resources = append(page.Resources, res)
+	}
+
+	// Second-level dependencies: fonts hang off stylesheets, XHRs off
+	// scripts — a quarter of CSS/JS resources gain one child.
+	top := len(page.Resources)
+	for i := 1; i < top; i++ {
+		r := page.Resources[i]
+		if (r.Type != CSS && r.Type != JS) || rng.Float64() > 0.25 {
+			continue
+		}
+		childType := Font
+		if r.Type == JS {
+			childType = XHR
+		}
+		origin := pickOrigin(rng, p.Servers)
+		size := sampleSize(rng, p, childType)
+		page.Resources = append(page.Resources, Resource{
+			Scheme: schemes[origin], Host: hosts[origin], Port: ports[origin],
+			Path: fmt.Sprintf("/%s/sub%03d.%s", childType, i, ext(childType)),
+			Size: size, Type: childType, Parent: i,
+			DiscoverAt: 1.0, // discovered once the parent fully parses
+			CPU:        cpuFor(p, size),
+		})
+	}
+	return page
+}
+
+func trimWWW(name string) string {
+	if len(name) > 4 && name[:4] == "www." {
+		return name[4:]
+	}
+	return name
+}
+
+// originAddr deterministically assigns a public-looking address to the i-th
+// origin of a page.
+func originAddr(rng *sim.Rand, i int) nsim.Addr {
+	// 23.x.y.z .. 198.x.y.z style space, unique per origin index plus some
+	// per-page randomness; collisions within a page are avoided by the
+	// index byte.
+	hi := 23 + rng.Intn(150)
+	return nsim.Addr(uint32(hi)<<24 | uint32(rng.Intn(250)+1)<<16 | uint32(rng.Intn(250)+1)<<8 | uint32(i+1))
+}
+
+// pickType draws a resource type with 2014-era page composition shares:
+// ~55% images, ~20% JS, ~10% CSS, ~15% other(XHR).
+func pickType(rng *sim.Rand) ResourceType {
+	v := rng.Float64()
+	switch {
+	case v < 0.55:
+		return Image
+	case v < 0.75:
+		return JS
+	case v < 0.85:
+		return CSS
+	default:
+		return XHR
+	}
+}
+
+// pickOrigin favors the primary origin (index 0) for about a third of
+// resources; the rest spread uniformly.
+func pickOrigin(rng *sim.Rand, servers int) int {
+	if servers == 1 || rng.Float64() < 0.35 {
+		return 0
+	}
+	return 1 + rng.Intn(servers-1)
+}
+
+// sampleSize draws a log-normal object size with a type multiplier.
+func sampleSize(rng *sim.Rand, p Profile, typ ResourceType) int {
+	mult := 1.0
+	switch typ {
+	case JS:
+		mult = 1.8
+	case CSS:
+		mult = 0.9
+	case Font:
+		mult = 1.5
+	case XHR:
+		mult = 0.4
+	}
+	median := float64(p.MedianObject) * mult
+	size := int(rng.LogNormal(math.Log(median), p.SigmaObject))
+	if size < 200 {
+		size = 200
+	}
+	if size > 4<<20 {
+		size = 4 << 20
+	}
+	return size
+}
+
+func jitterSize(rng *sim.Rand, base int, frac float64) int {
+	v := int(float64(base) * (1 + frac*(2*rng.Float64()-1)))
+	if v < 1 {
+		v = 1
+	}
+	return v
+}
+
+// discoverPoint places a resource's reference within the document: CSS and
+// JS cluster near the top (head), images spread through the body.
+func discoverPoint(rng *sim.Rand, typ ResourceType) float64 {
+	switch typ {
+	case CSS, JS:
+		return 0.05 + 0.2*rng.Float64()
+	case XHR:
+		return 0.3 + 0.4*rng.Float64()
+	default:
+		return 0.25 + 0.75*rng.Float64()
+	}
+}
+
+func cpuFor(p Profile, size int) sim.Time {
+	return sim.Time(size/1024+1) * p.CPUPerKB
+}
+
+func ext(t ResourceType) string {
+	switch t {
+	case CSS:
+		return "css"
+	case JS:
+		return "js"
+	case Image:
+		return "jpg"
+	case Font:
+		return "woff"
+	case XHR:
+		return "json"
+	}
+	return "bin"
+}
+
+// CorpusSpec controls corpus synthesis.
+type CorpusSpec struct {
+	// Sites is the corpus size (the paper's corpus has 500).
+	Sites int
+	// SingleServer is the exact number of single-server sites (paper: 9).
+	SingleServer int
+	// MedianServers and P95Servers calibrate the log-normal server-count
+	// distribution (paper: 20 and 51).
+	MedianServers float64
+	P95Servers    float64
+}
+
+// PaperCorpus is the spec matching §4 of the paper.
+func PaperCorpus() CorpusSpec {
+	return CorpusSpec{Sites: 500, SingleServer: 9, MedianServers: 20, P95Servers: 51}
+}
+
+// GenerateCorpus synthesizes a corpus of pages whose servers-per-site
+// distribution matches the spec. Deterministic in the seed.
+func GenerateCorpus(seed uint64, spec CorpusSpec) []*Page {
+	rng := sim.NewRand(seed)
+	// Log-normal parameters: median = exp(mu); p95 = exp(mu + 1.645 sigma).
+	mu := math.Log(spec.MedianServers)
+	sigma := (math.Log(spec.P95Servers) - mu) / 1.645
+	pages := make([]*Page, 0, spec.Sites)
+	for i := 0; i < spec.Sites; i++ {
+		servers := 1
+		if i >= spec.SingleServer {
+			servers = int(math.Round(rng.LogNormal(mu, sigma)))
+			if servers < 2 {
+				servers = 2
+			}
+			if servers > 120 {
+				servers = 120
+			}
+		}
+		name := fmt.Sprintf("www.site%03d.com", i)
+		pages = append(pages, GeneratePage(rng.Fork(), DefaultProfile(name, servers)))
+	}
+	return pages
+}

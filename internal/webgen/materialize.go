@@ -1,0 +1,68 @@
+package webgen
+
+import (
+	"strconv"
+
+	"repro/internal/archive"
+	"repro/internal/httpx"
+	"repro/internal/nsim"
+)
+
+// BuildRequest constructs the HTTP request a browser would issue for the
+// resource. Keeping this in one place guarantees the recorder, the replay
+// matcher, and the browser model all agree on the wire format.
+func BuildRequest(r *Resource) *httpx.Request {
+	req := &httpx.Request{Method: "GET", Target: r.Path, Proto: "HTTP/1.1", Scheme: r.Scheme}
+	req.Header.Add("Host", r.Host)
+	req.Header.Add("User-Agent", "mahimahi-go-browser/1.0")
+	req.Header.Add("Accept", "*/*")
+	return req
+}
+
+// BuildResponse constructs the origin's response for the resource, with a
+// deterministic filler body of the resource's size.
+func BuildResponse(r *Resource) *httpx.Response {
+	body := Content(r)
+	resp := &httpx.Response{Proto: "HTTP/1.1", StatusCode: 200, Reason: "OK"}
+	resp.Header.Add("Content-Type", contentType(r.Type))
+	resp.Header.Add("Content-Length", strconv.Itoa(len(body)))
+	resp.Header.Add("Server", "mahimahi-go-origin/1.0")
+	resp.Body = body
+	return resp
+}
+
+func contentType(t ResourceType) string {
+	switch t {
+	case HTML:
+		return "text/html; charset=utf-8"
+	case CSS:
+		return "text/css"
+	case JS:
+		return "application/javascript"
+	case Image:
+		return "image/jpeg"
+	case Font:
+		return "font/woff"
+	case XHR:
+		return "application/json"
+	}
+	return "application/octet-stream"
+}
+
+// Materialize converts a page into the archive.Site that recording it would
+// produce: one exchange per resource, stamped with the origin server each
+// hostname resolves to. Experiments that do not exercise RecordShell
+// replay these sites directly.
+func Materialize(p *Page) *archive.Site {
+	site := &archive.Site{Name: p.Name}
+	for i := range p.Resources {
+		r := &p.Resources[i]
+		site.Exchanges = append(site.Exchanges, &archive.Exchange{
+			Server:   nsim.AddrPort{Addr: p.Origins[r.Host], Port: r.Port},
+			Scheme:   r.Scheme,
+			Request:  BuildRequest(r),
+			Response: BuildResponse(r),
+		})
+	}
+	return site
+}
