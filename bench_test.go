@@ -86,7 +86,7 @@ func BenchmarkFigure3(b *testing.B) {
 func BenchmarkServersPerSite(b *testing.B) {
 	var last experiments.ServersResult
 	for i := 0; i < b.N; i++ {
-		last = experiments.ServersPerSite(1, 500)
+		last = experiments.ServersPerSite(1, 500, 1)
 	}
 	b.ReportMetric(last.Counts.Median(), "median-servers")
 	b.ReportMetric(last.Counts.Percentile(95), "p95-servers")
@@ -98,7 +98,7 @@ func BenchmarkServersPerSite(b *testing.B) {
 func BenchmarkIsolation(b *testing.B) {
 	identical := true
 	for i := 0; i < b.N; i++ {
-		r := experiments.Isolation(5)
+		r := experiments.Isolation(5, 1)
 		identical = identical && r.Identical()
 	}
 	v := 1.0
@@ -106,6 +106,43 @@ func BenchmarkIsolation(b *testing.B) {
 		v = 0
 	}
 	b.ReportMetric(v, "bit-identical")
+}
+
+// --- Parallel engine benches ---
+
+// benchFig2Parallel regenerates a subsampled Figure 2 at a fixed engine
+// parallelism. Comparing the Sequential/Parallel4/Parallel8 variants
+// measures the scenario-matrix engine's wall-clock scaling; on a
+// multi-core host Parallel4 should run Figure 2 at least 2x faster than
+// Sequential (on a single-core host the variants tie, since every cell is
+// CPU-bound simulation).
+func benchFig2Parallel(b *testing.B, parallel int) {
+	cfg := experiments.DefaultFig2()
+	cfg.Sites = 40
+	cfg.Parallel = parallel
+	var last experiments.Fig2Result
+	for i := 0; i < b.N; i++ {
+		last = experiments.Fig2(cfg)
+	}
+	b.ReportMetric(float64(parallel), "parallel")
+	b.ReportMetric(last.OverheadD*100, "delay0-overhead-%")
+}
+
+func BenchmarkFigure2Sequential(b *testing.B) { benchFig2Parallel(b, 1) }
+func BenchmarkFigure2Parallel4(b *testing.B)  { benchFig2Parallel(b, 4) }
+func BenchmarkFigure2Parallel8(b *testing.B)  { benchFig2Parallel(b, 8) }
+
+// BenchmarkSweep measures the scenario-sweep driver (the open-ended
+// site x stack x seed grid) at GOMAXPROCS parallelism.
+func BenchmarkSweep(b *testing.B) {
+	cfg := experiments.DefaultSweep()
+	cfg.Parallel = 0 // GOMAXPROCS
+	var last experiments.SweepResult
+	for i := 0; i < b.N; i++ {
+		last = experiments.Sweep(cfg)
+	}
+	b.ReportMetric(float64(last.Cells), "cells")
+	b.ReportMetric(last.Rows[0].PLT.Median(), "row0-median-ms")
 }
 
 // --- Ablation benches (DESIGN.md) ---

@@ -1,27 +1,42 @@
 // mm-bench regenerates every table and figure from the paper's evaluation:
 //
-//	mm-bench -exp all            # everything (several minutes)
-//	mm-bench -exp fig2 -sites 50 # one artifact, subsampled corpus
+//	mm-bench -exp all                  # everything (several minutes)
+//	mm-bench -exp fig2 -sites 50       # one artifact, subsampled corpus
+//	mm-bench -exp all -parallel 8      # fan cells across 8 workers
+//	mm-bench -exp sweep -delays 30,120,300 -rates 1,14,25 -trials 3
 //
-// Experiments: fig2, table1, table2, fig3, servers, isolation.
+// Experiments: fig2, table1, table2, fig3, servers, isolation, sweep.
 // Results print in the paper's layout with the paper's numbers alongside;
 // EXPERIMENTS.md records a reference run.
+//
+// Every experiment runs through the parallel scenario-matrix engine
+// (internal/experiments): -parallel N fans the site x shell-stack x seed
+// cells across N workers, and per-cell seeds are derived from cell
+// coordinates, so output is byte-identical at every N.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/sim"
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: fig2|table1|table2|fig3|servers|isolation|all")
+	exp := flag.String("exp", "all", "experiment: fig2|table1|table2|fig3|servers|isolation|sweep|all")
 	sites := flag.Int("sites", 0, "override corpus size (0 = experiment default)")
 	loads := flag.Int("loads", 0, "override load count (0 = experiment default)")
+	parallel := flag.Int("parallel", 1, "engine workers (0 = GOMAXPROCS); output is identical at any value")
+	seed := flag.Uint64("seed", 0, "override root seed (0 = experiment default)")
+	delays := flag.String("delays", "", "sweep: comma-separated one-way delays in ms (default 30,120)")
+	rates := flag.String("rates", "", "sweep: comma-separated link rates in Mbit/s (default 14)")
+	losses := flag.String("losses", "", "sweep: comma-separated loss probabilities (default 0,0.01)")
+	trials := flag.Int("trials", 0, "sweep: jittered loads per (site, stack) cell (0 = default)")
 	flag.Parse()
 
 	run := func(name string, fn func()) {
@@ -38,10 +53,12 @@ func main() {
 		if *sites > 0 {
 			n = *sites
 		}
-		fmt.Println(experiments.ServersPerSite(1, n))
+		fmt.Println(experiments.ServersPerSite(rootSeed(*seed, 1), n, *parallel))
 	})
 	run("fig2", func() {
 		cfg := experiments.DefaultFig2()
+		cfg.Parallel = *parallel
+		cfg.Seed = rootSeed(*seed, cfg.Seed)
 		if *sites > 0 {
 			cfg.Sites = *sites
 		}
@@ -49,6 +66,15 @@ func main() {
 	})
 	run("table1", func() {
 		cfg := experiments.DefaultTable1()
+		cfg.Parallel = *parallel
+		if *seed != 0 {
+			// Derive both simulated machines' host-noise seeds from the
+			// override so -seed re-draws Table 1 like every other artifact.
+			cfg.MachineSeeds = [2]uint64{
+				sim.DeriveSeed(*seed, "machine1"),
+				sim.DeriveSeed(*seed, "machine2"),
+			}
+		}
 		if *loads > 0 {
 			cfg.Loads = *loads
 		}
@@ -56,6 +82,8 @@ func main() {
 	})
 	run("table2", func() {
 		cfg := experiments.DefaultTable2()
+		cfg.Parallel = *parallel
+		cfg.Seed = rootSeed(*seed, cfg.Seed)
 		if *sites > 0 {
 			cfg.Sites = *sites
 		}
@@ -63,20 +91,83 @@ func main() {
 	})
 	run("fig3", func() {
 		cfg := experiments.DefaultFig3()
+		cfg.Parallel = *parallel
+		cfg.Seed = rootSeed(*seed, cfg.Seed)
 		if *loads > 0 {
 			cfg.Loads = *loads
 		}
 		fmt.Println(experiments.Fig3(cfg))
 	})
 	run("isolation", func() {
-		fmt.Println(experiments.Isolation(5))
+		fmt.Println(experiments.Isolation(rootSeed(*seed, 5), *parallel))
+	})
+	run("sweep", func() {
+		cfg := experiments.DefaultSweep()
+		cfg.Parallel = *parallel
+		cfg.Seed = rootSeed(*seed, cfg.Seed)
+		if *sites > 0 {
+			cfg.Sites = *sites
+		}
+		if *trials > 0 {
+			cfg.Trials = *trials
+		}
+		if *delays != "" {
+			cfg.Delays = nil
+			for _, ms := range splitInts(*delays, "-delays") {
+				cfg.Delays = append(cfg.Delays, sim.Time(ms)*sim.Millisecond)
+			}
+		}
+		if *rates != "" {
+			cfg.Rates = nil
+			for _, mbps := range splitInts(*rates, "-rates") {
+				cfg.Rates = append(cfg.Rates, mbps*1_000_000)
+			}
+		}
+		if *losses != "" {
+			cfg.LossProbs = nil
+			for _, f := range strings.Split(*losses, ",") {
+				p, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+				if err != nil {
+					fatalf("mm-bench: bad -losses entry %q: %v", f, err)
+				}
+				cfg.LossProbs = append(cfg.LossProbs, p)
+			}
+		}
+		fmt.Println(experiments.Sweep(cfg))
 	})
 
 	valid := map[string]bool{"all": true, "fig2": true, "table1": true,
-		"table2": true, "fig3": true, "servers": true, "isolation": true}
+		"table2": true, "fig3": true, "servers": true, "isolation": true, "sweep": true}
 	if !valid[*exp] {
 		fmt.Fprintf(os.Stderr, "mm-bench: unknown experiment %q (want %s)\n",
-			*exp, strings.Join([]string{"fig2", "table1", "table2", "fig3", "servers", "isolation", "all"}, "|"))
+			*exp, strings.Join([]string{"fig2", "table1", "table2", "fig3", "servers", "isolation", "sweep", "all"}, "|"))
 		os.Exit(2)
 	}
+}
+
+// rootSeed applies the -seed override: zero keeps the experiment default.
+func rootSeed(override, def uint64) uint64 {
+	if override != 0 {
+		return override
+	}
+	return def
+}
+
+// splitInts parses a comma-separated integer list or exits with a usage
+// error naming the offending flag.
+func splitInts(s, flagName string) []int64 {
+	var out []int64
+	for _, f := range strings.Split(s, ",") {
+		v, err := strconv.ParseInt(strings.TrimSpace(f), 10, 64)
+		if err != nil {
+			fatalf("mm-bench: bad %s entry %q: %v", flagName, f, err)
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(2)
 }

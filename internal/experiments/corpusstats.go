@@ -18,19 +18,27 @@ type ServersResult struct {
 }
 
 // ServersPerSite computes the distribution over a freshly generated
-// corpus.
-func ServersPerSite(seed uint64, sites int) ServersResult {
+// corpus. The per-site server count is a one-cell-per-site scenario
+// matrix — trivial work, but it keeps every artifact on the same engine
+// and the same fixed merge order.
+func ServersPerSite(seed uint64, sites, parallel int) ServersResult {
 	pages := corpusPages(seed, sites)
-	var counts []float64
+	m := &Matrix{Name: "servers", RootSeed: seed}
+	for i := range pages {
+		m.Cells = append(m.Cells, Cell{Site: siteLabel(i), Shell: "none"})
+	}
+	m.Run = func(i int, c Cell, _ uint64) []float64 {
+		return []float64{float64(pages[i].ServerCount())}
+	}
+	counts := stats.NewAccumulator()
 	single := 0
-	for _, p := range pages {
-		c := p.ServerCount()
-		counts = append(counts, float64(c))
-		if c == 1 {
+	for _, vals := range NewRunner(parallel).Run(m) {
+		counts.Add(vals...)
+		if vals[0] == 1 {
 			single++
 		}
 	}
-	return ServersResult{Counts: stats.New(counts), SingleServer: single, Sites: len(pages)}
+	return ServersResult{Counts: counts.Sample(), SingleServer: single, Sites: len(pages)}
 }
 
 // String renders the distribution summary.

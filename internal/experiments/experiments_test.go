@@ -122,7 +122,7 @@ func TestFig3SmallShape(t *testing.T) {
 }
 
 func TestServersPerSiteShape(t *testing.T) {
-	r := ServersPerSite(1, 500)
+	r := ServersPerSite(1, 500, 1)
 	if r.SingleServer != 9 {
 		t.Errorf("single-server = %d, want 9", r.SingleServer)
 	}
@@ -138,7 +138,7 @@ func TestServersPerSiteShape(t *testing.T) {
 }
 
 func TestIsolationBitIdentical(t *testing.T) {
-	r := Isolation(5)
+	r := Isolation(5, 1)
 	if !r.Identical() {
 		t.Fatalf("isolation violated: solo %v vs concurrent %v", r.SoloPLT, r.ConcurrentPLT)
 	}

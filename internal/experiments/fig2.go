@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"repro/internal/archive"
 	"repro/internal/shells"
 	"repro/internal/sim"
 	"repro/internal/stats"
@@ -15,7 +16,7 @@ import (
 type Fig2Config struct {
 	// Sites is the corpus size (paper: 500).
 	Sites int
-	// Seed generates the corpus.
+	// Seed generates the corpus and roots the scenario matrix.
 	Seed uint64
 	// DelayForwarding is the per-packet processing cost charged by
 	// DelayShell's forwarder. On real hardware this is the packet-copy and
@@ -29,6 +30,8 @@ type Fig2Config struct {
 	// millisecond quantization of delivery opportunities that TraceBox
 	// already models.
 	LinkForwarding sim.Time
+	// Parallel is the engine worker count (see Runner.Parallel).
+	Parallel int
 }
 
 // DefaultFig2 uses the paper's corpus size.
@@ -37,6 +40,7 @@ func DefaultFig2() Fig2Config {
 		Sites: 500, Seed: 1,
 		DelayForwarding: 30 * sim.Microsecond,
 		LinkForwarding:  250 * sim.Microsecond,
+		Parallel:        1,
 	}
 }
 
@@ -49,37 +53,64 @@ type Fig2Result struct {
 	OverheadL float64       // median overhead of LinkShell 1000 Mbit/s
 }
 
+// Fig2 arm labels, in output order.
+var fig2Arms = []string{"replay", "delay0", "link1000"}
+
 // Fig2 loads every corpus site once under each of the three stacks and
-// reports the PLT CDFs plus median overheads (paper: 0.15% and 1.5%).
+// reports the PLT CDFs plus median overheads (paper: 0.15% and 1.5%). The
+// site × stack grid is declared as a scenario matrix and fanned out by the
+// engine; loads are jitter-free, so the distributions are bit-identical at
+// any Parallel level.
 func Fig2(cfg Fig2Config) Fig2Result {
 	pages := corpusPages(cfg.Seed, cfg.Sites)
 	t1000, err := trace.Constant(1_000_000_000, 1000)
 	if err != nil {
 		panic(err)
 	}
-
-	var replayPLT, delayPLT, linkPLT []float64
-	for _, page := range pages {
-		site := webgen.Materialize(page)
-		replayPLT = append(replayPLT, PLTms(LoadSpec{
-			Page: page, Site: site, DNSLatency: sim.Millisecond, RequestCPU: DefaultRequestCPU,
-		}))
-		delayPLT = append(delayPLT, PLTms(LoadSpec{
-			Page: page, Site: site, DNSLatency: sim.Millisecond, RequestCPU: DefaultRequestCPU,
-			Shells: []shells.Shell{shells.NewDelayShell(cfg.DelayForwarding)},
-		}))
-		linkPLT = append(linkPLT, PLTms(LoadSpec{
-			Page: page, Site: site, DNSLatency: sim.Millisecond, RequestCPU: DefaultRequestCPU,
-			Shells: []shells.Shell{
+	armShells := map[string]func() []shells.Shell{
+		"replay": func() []shells.Shell { return nil },
+		"delay0": func() []shells.Shell {
+			return []shells.Shell{shells.NewDelayShell(cfg.DelayForwarding)}
+		},
+		"link1000": func() []shells.Shell {
+			return []shells.Shell{
 				shells.NewDelayShell(cfg.LinkForwarding),
 				shells.NewLinkShell(t1000, t1000),
-			},
-		}))
+			}
+		},
+	}
+
+	// Sites are materialized once and shared across cells: an
+	// archive.Site is immutable once built and only read during loads.
+	sites := materializeAll(pages)
+
+	m := &Matrix{Name: "fig2", RootSeed: cfg.Seed}
+	for i := range pages {
+		for _, arm := range fig2Arms {
+			m.Cells = append(m.Cells, Cell{Site: siteLabel(i), Shell: arm})
+		}
+	}
+	m.Run = func(i int, c Cell, seed uint64) []float64 {
+		si := i / len(fig2Arms)
+		return []float64{PLTms(LoadSpec{
+			Page: pages[si], Site: sites[si],
+			DNSLatency: sim.Millisecond, RequestCPU: DefaultRequestCPU,
+			Shells: armShells[c.Shell](),
+		})}
+	}
+
+	// Merge per-cell PLTs into per-arm distributions in matrix order.
+	acc := map[string]*stats.Accumulator{}
+	for _, arm := range fig2Arms {
+		acc[arm] = stats.NewAccumulator()
+	}
+	for i, vals := range NewRunner(cfg.Parallel).Run(m) {
+		acc[m.Cells[i].Shell].Add(vals...)
 	}
 	r := Fig2Result{
-		Replay:   stats.New(replayPLT),
-		Delay0:   stats.New(delayPLT),
-		Link1000: stats.New(linkPLT),
+		Replay:   acc["replay"].Sample(),
+		Delay0:   acc["delay0"].Sample(),
+		Link1000: acc["link1000"].Sample(),
 	}
 	r.OverheadD = stats.RelDiff(r.Delay0.Median(), r.Replay.Median())
 	r.OverheadL = stats.RelDiff(r.Link1000.Median(), r.Replay.Median())
@@ -99,6 +130,19 @@ func (r Fig2Result) String() string {
 		[]string{"ReplayShell", "DelayShell 0ms", "LinkShell 1000Mbps"},
 		[]*stats.Sample{r.Replay, r.Delay0, r.Link1000}))
 	return b.String()
+}
+
+// siteLabel names corpus site i for cell coordinates.
+func siteLabel(i int) string { return fmt.Sprintf("site%03d", i) }
+
+// materializeAll builds each page's replay archive up front so concurrent
+// matrix cells share the immutable sites instead of rebuilding them.
+func materializeAll(pages []*webgen.Page) []*archive.Site {
+	sites := make([]*archive.Site, len(pages))
+	for i, p := range pages {
+		sites[i] = webgen.Materialize(p)
+	}
+	return sites
 }
 
 // corpusPages generates the experiment corpus, scaled to n sites with the

@@ -18,12 +18,15 @@ import (
 type Fig3Config struct {
 	// Loads per arm (paper: 100 loads of www.nytimes.com).
 	Loads int
-	// Seed drives the live web's variability and the per-load RTT draws.
+	// Seed roots the scenario matrix: the live web's variability and the
+	// per-load RTT draws all derive from it per trial.
 	Seed uint64
 	// MinRTTBase/MinRTTSpread: each load's path minimum RTT is drawn
 	// uniformly from [Base, Base+Spread]; as in the paper, the same
 	// per-load minimum RTT is fed to DelayShell for the replay arms.
 	MinRTTBase, MinRTTSpread sim.Time
+	// Parallel is the engine worker count (see Runner.Parallel).
+	Parallel int
 }
 
 // DefaultFig3 mirrors the paper's setup.
@@ -31,6 +34,7 @@ func DefaultFig3() Fig3Config {
 	return Fig3Config{
 		Loads: 100, Seed: 3,
 		MinRTTBase: 20 * sim.Millisecond, MinRTTSpread: 20 * sim.Millisecond,
+		Parallel: 1,
 	}
 }
 
@@ -45,31 +49,45 @@ type Fig3Result struct {
 
 // Fig3 measures a nytimes-like page 100 times on the live-web model and
 // inside ReplayShell with and without multi-origin preservation, matching
-// each web load's minimum RTT in the replay arms via DelayShell.
+// each web load's minimum RTT in the replay arms via DelayShell. Each
+// matrix cell is one trial and runs all three arms together, because the
+// arms share the trial's minimum-RTT draw; the trial's generator is seeded
+// from the cell coordinates, so draws are independent of execution order.
 func Fig3(cfg Fig3Config) Fig3Result {
 	page := webgen.GeneratePage(sim.NewRand(11), webgen.NYTimesLike())
 	site := webgen.Materialize(page)
-	rng := sim.NewRand(cfg.Seed)
 
-	var web, multi, single []float64
+	m := &Matrix{Name: "fig3", RootSeed: cfg.Seed}
 	for i := 0; i < cfg.Loads; i++ {
+		m.Cells = append(m.Cells, Cell{Site: "nytimes-like", Shell: "web+multi+single", Trial: i})
+	}
+	m.Run = func(i int, c Cell, seed uint64) []float64 {
+		rng := sim.NewRand(seed)
 		minRTT := cfg.MinRTTBase + rng.Duration(cfg.MinRTTSpread+1)
 		webSeed := rng.Uint64()
-		web = append(web, liveLoad(page, minRTT/2, webSeed))
+		web := liveLoad(page, minRTT/2, webSeed)
 		sh := []shells.Shell{shells.NewDelayShell(minRTT / 2)}
-		multi = append(multi, PLTms(LoadSpec{
+		multi := PLTms(LoadSpec{
 			Page: page, Site: site, DNSLatency: sim.Millisecond, RequestCPU: DefaultRequestCPU, Shells: sh,
 			CPUJitterSigma: 0.015, Rand: rng,
-		}))
-		single = append(single, PLTms(LoadSpec{
+		})
+		single := PLTms(LoadSpec{
 			Page: page, Site: site, DNSLatency: sim.Millisecond, RequestCPU: DefaultRequestCPU, Shells: sh,
 			SingleServer: true, CPUJitterSigma: 0.015, Rand: rng,
-		}))
+		})
+		return []float64{web, multi, single}
+	}
+
+	web, multi, single := stats.NewAccumulator(), stats.NewAccumulator(), stats.NewAccumulator()
+	for _, vals := range NewRunner(cfg.Parallel).Run(m) {
+		web.Add(vals[0])
+		multi.Add(vals[1])
+		single.Add(vals[2])
 	}
 	r := Fig3Result{
-		Web:    stats.New(web),
-		Multi:  stats.New(multi),
-		Single: stats.New(single),
+		Web:    web.Sample(),
+		Multi:  multi.Sample(),
+		Single: single.Sample(),
 	}
 	r.MultiGap = stats.AbsRelDiff(r.Multi.Median(), r.Web.Median())
 	r.SingleGap = stats.AbsRelDiff(r.Single.Median(), r.Web.Median())

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"repro/internal/archive"
 	"repro/internal/browser"
 	"repro/internal/netem"
 	"repro/internal/nsim"
@@ -31,18 +32,47 @@ type IsolationResult struct {
 func (r IsolationResult) Identical() bool { return r.SoloPLT == r.ConcurrentPLT }
 
 // Isolation loads a page alone, then again while a second namespace pair
-// blasts bulk traffic over its own emulated link in the same Network.
-func Isolation(seed uint64) IsolationResult {
+// blasts bulk traffic over its own emulated link in the same Network. The
+// two arms are declared as a two-cell scenario matrix ("solo" and
+// "concurrent" shell coordinates) so they run through the same engine as
+// every other experiment — and may themselves run concurrently, which is
+// itself an isolation statement: two whole simulations sharing a process
+// must not perturb each other either.
+func Isolation(seed uint64, parallel int) IsolationResult {
 	page := webgen.GeneratePage(sim.NewRand(seed), webgen.WikiHowLike())
 	site := webgen.Materialize(page)
 	mkShells := func() []shells.Shell {
 		return []shells.Shell{shells.NewDelayShell(30 * sim.Millisecond)}
 	}
 
-	solo := Load(LoadSpec{Page: page, Site: site, DNSLatency: sim.Millisecond, Shells: mkShells()}).PLT
+	m := &Matrix{
+		Name:     "isolation",
+		RootSeed: seed,
+		Cells: []Cell{
+			{Site: "wikihow-like", Shell: "solo"},
+			{Site: "wikihow-like", Shell: "concurrent"},
+		},
+	}
+	m.Run = func(i int, c Cell, _ uint64) []float64 {
+		if c.Shell == "solo" {
+			plt := Load(LoadSpec{Page: page, Site: site, DNSLatency: sim.Millisecond, Shells: mkShells()}).PLT
+			return []float64{float64(plt)}
+		}
+		plt, cross := isolationConcurrent(page, site, mkShells())
+		return []float64{float64(plt), float64(cross)}
+	}
+	results := NewRunner(parallel).Run(m)
+	return IsolationResult{
+		SoloPLT:       sim.Time(results[0][0]),
+		ConcurrentPLT: sim.Time(results[1][0]),
+		CrossTraffic:  uint64(results[1][1]),
+	}
+}
 
-	// Concurrent run: same load, plus a noisy neighbour in the same
-	// Network (same event loop), continuously saturating its own link.
+// isolationConcurrent runs the measured load while a noisy neighbour in
+// the same Network (same event loop) continuously saturates its own link,
+// returning the measured PLT and the neighbour's delivered datagram count.
+func isolationConcurrent(page *webgen.Page, site *archive.Site, shellList []shells.Shell) (sim.Time, uint64) {
 	loop := sim.NewLoop()
 	network := nsim.NewNetwork(loop)
 	replay, err := replayshell.New(network, replayshell.Config{
@@ -51,7 +81,7 @@ func Isolation(seed uint64) IsolationResult {
 	if err != nil {
 		panic("experiments: " + err.Error())
 	}
-	st := shells.Build(network, replay.NS, AppAddr, mkShells()...)
+	st := shells.Build(network, replay.NS, AppAddr, shellList...)
 	b := browser.New(tcpsim.NewStack(st.App), replay.Resolver, AppAddr, browser.DefaultOptions())
 
 	// The neighbour: two namespaces with a rate-limited link, flooded.
@@ -89,11 +119,7 @@ func Isolation(seed uint64) IsolationResult {
 	})
 	loop.Run()
 
-	return IsolationResult{
-		SoloPLT:       solo,
-		ConcurrentPLT: result.PLT,
-		CrossTraffic:  crossDelivered,
-	}
+	return result.PLT, crossDelivered
 }
 
 // String renders the result.

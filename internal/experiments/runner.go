@@ -1,7 +1,12 @@
 // Package experiments contains one driver per table and figure in the
-// paper's evaluation. Each driver builds fresh namespaces per page load (as
-// Mahimahi does per shell invocation), runs the load on a virtual clock,
-// and reports the same statistics the paper prints. The benchmarks in the
+// paper's evaluation, plus an open-ended scenario sweep. Each driver
+// declares its site × shell-stack × trial grid as a Matrix and hands it to
+// a Runner, the package's parallel scenario-matrix engine; every cell
+// builds fresh namespaces per page load (as Mahimahi does per shell
+// invocation), runs the load on a virtual clock, and reports the same
+// statistics the paper prints. Per-cell random seeds are derived from the
+// cell's coordinates alone (sim.DeriveSeed), so every artifact is
+// byte-identical at any engine parallelism. The benchmarks in the
 // repository root and cmd/mm-bench both call into this package, so the
 // numbers in EXPERIMENTS.md are regenerated from exactly this code.
 package experiments

@@ -15,7 +15,9 @@ import (
 type Table1Config struct {
 	// Loads per site per machine (paper: 100).
 	Loads int
-	// MachineSeeds are the host-noise seeds of the two "machines".
+	// MachineSeeds are the host-noise seeds of the two "machines"; each is
+	// folded into its machine's cell coordinates, so the two machines draw
+	// independent jitter streams.
 	MachineSeeds [2]uint64
 	// CPUJitterSigma models load-to-load host noise; the paper's standard
 	// deviations are within 1.6% of the mean.
@@ -24,6 +26,8 @@ type Table1Config struct {
 	// run under.
 	LinkRate int64
 	Delay    sim.Time
+	// Parallel is the engine worker count (see Runner.Parallel).
+	Parallel int
 }
 
 // DefaultTable1 mirrors the paper: 100 loads per site per machine.
@@ -34,6 +38,7 @@ func DefaultTable1() Table1Config {
 		CPUJitterSigma: 0.015,
 		LinkRate:       14_000_000,
 		Delay:          40 * sim.Millisecond,
+		Parallel:       1,
 	}
 }
 
@@ -67,7 +72,11 @@ type Table1Result struct {
 }
 
 // Table1 loads CNBC-like and wikiHow-like pages Loads times on each of two
-// simulated machines and reports mean ± stddev, as in Table 1.
+// simulated machines and reports mean ± stddev, as in Table 1. The matrix
+// is profile × machine × trial; each trial's host-noise jitter comes from
+// a generator seeded by its own cell coordinates (with the machine's
+// host-noise seed folded into the machine label), so per-load draws do not
+// depend on how many loads ran before them or on which goroutine ran them.
 func Table1(cfg Table1Config) Table1Result {
 	down, err := trace.Constant(cfg.LinkRate, 2000)
 	if err != nil {
@@ -77,30 +86,62 @@ func Table1(cfg Table1Config) Table1Result {
 	if err != nil {
 		panic(err)
 	}
-	var result Table1Result
-	for _, profile := range []webgen.Profile{webgen.CNBCLike(), webgen.WikiHowLike()} {
-		page := webgen.GeneratePage(sim.NewRand(7), profile)
-		site := webgen.Materialize(page)
-		row := Table1Row{Site: profile.Name}
-		for m := 0; m < 2; m++ {
-			rng := sim.NewRand(cfg.MachineSeeds[m])
-			plts := make([]float64, 0, cfg.Loads)
-			for i := 0; i < cfg.Loads; i++ {
-				plts = append(plts, PLTms(LoadSpec{
-					Page: page, Site: site, DNSLatency: sim.Millisecond, RequestCPU: DefaultRequestCPU,
-					Shells: []shells.Shell{
-						shells.NewDelayShell(cfg.Delay),
-						shells.NewLinkShell(up, down),
-					},
-					CPUJitterSigma: cfg.CPUJitterSigma,
-					Rand:           rng,
-				}))
-			}
-			row.Machines[m] = stats.New(plts)
-		}
-		result.Rows = append(result.Rows, row)
+	profiles := []webgen.Profile{webgen.CNBCLike(), webgen.WikiHowLike()}
+	pages := make([]*webgen.Page, len(profiles))
+	for i, p := range profiles {
+		pages[i] = webgen.GeneratePage(sim.NewRand(7), p)
 	}
-	return result
+	sites := materializeAll(pages)
+
+	m := &Matrix{Name: "table1"}
+	for _, p := range profiles {
+		for mi := 0; mi < 2; mi++ {
+			for trial := 0; trial < cfg.Loads; trial++ {
+				m.Cells = append(m.Cells, Cell{
+					Site:  p.Name,
+					Shell: machineLabel(mi, cfg.MachineSeeds[mi]),
+					Trial: trial,
+				})
+			}
+		}
+	}
+	cellsPerProfile := 2 * cfg.Loads
+	m.Run = func(i int, c Cell, seed uint64) []float64 {
+		pi := i / cellsPerProfile
+		return []float64{PLTms(LoadSpec{
+			Page: pages[pi], Site: sites[pi],
+			DNSLatency: sim.Millisecond, RequestCPU: DefaultRequestCPU,
+			Shells: []shells.Shell{
+				shells.NewDelayShell(cfg.Delay),
+				shells.NewLinkShell(up, down),
+			},
+			CPUJitterSigma: cfg.CPUJitterSigma,
+			Rand:           sim.NewRand(seed),
+		})}
+	}
+
+	results := NewRunner(cfg.Parallel).Run(m)
+	var out Table1Result
+	for pi, p := range profiles {
+		row := Table1Row{Site: p.Name}
+		for mi := 0; mi < 2; mi++ {
+			acc := stats.NewAccumulator()
+			base := pi*cellsPerProfile + mi*cfg.Loads
+			for trial := 0; trial < cfg.Loads; trial++ {
+				acc.Add(results[base+trial]...)
+			}
+			row.Machines[mi] = acc.Sample()
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	return out
+}
+
+// machineLabel folds a machine's host-noise seed into its cell coordinate
+// label, so changing a machine seed re-draws that machine's jitter stream
+// without touching the other machine's cells.
+func machineLabel(i int, seed uint64) string {
+	return fmt.Sprintf("machine%d-%d", i+1, seed)
 }
 
 // String renders the table (paper: CNBC 7584±120 / 7612±111; wikiHow

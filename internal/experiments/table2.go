@@ -8,7 +8,6 @@ import (
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/trace"
-	"repro/internal/webgen"
 )
 
 // Table2Config parameterizes Table 2 (cost of losing multi-origin
@@ -16,12 +15,14 @@ import (
 type Table2Config struct {
 	// Sites is the number of corpus sites loaded per cell.
 	Sites int
-	// Seed generates the corpus.
+	// Seed generates the corpus and roots the scenario matrix.
 	Seed uint64
 	// Delays and Rates define the grid (paper: {30,120,300} ms ×
 	// {1,14,25} Mbit/s).
 	Delays []sim.Time
 	Rates  []int64
+	// Parallel is the engine worker count (see Runner.Parallel).
+	Parallel int
 }
 
 // DefaultTable2 mirrors the paper's nine network configurations. The
@@ -34,7 +35,8 @@ func DefaultTable2() Table2Config {
 		Delays: []sim.Time{
 			30 * sim.Millisecond, 120 * sim.Millisecond, 300 * sim.Millisecond,
 		},
-		Rates: []int64{1_000_000, 14_000_000, 25_000_000},
+		Rates:    []int64{1_000_000, 14_000_000, 25_000_000},
+		Parallel: 1,
 	}
 }
 
@@ -64,44 +66,72 @@ func (t Table2Result) Cell(delay sim.Time, rate int64) *Table2Cell {
 // Table2 loads each corpus site once with multi-origin replay and once
 // with the single-server ablation, for every network configuration, and
 // reports the distribution of per-site PLT differences (paper Table 2:
-// 50th and 95th percentile difference).
+// 50th and 95th percentile difference). The matrix is (delay × rate) ×
+// site; each matrix cell runs both replay arms back to back so the
+// per-site difference is computed locally and merged in site order.
 func Table2(cfg Table2Config) Table2Result {
 	pages := corpusPages(cfg.Seed, cfg.Sites)
-	var result Table2Result
+	sites := materializeAll(pages)
+
+	type netconf struct {
+		delay sim.Time
+		rate  int64
+	}
+	var confs []netconf
 	for _, delay := range cfg.Delays {
 		for _, rate := range cfg.Rates {
-			down, err := trace.Constant(rate, 2000)
-			if err != nil {
-				panic(err)
-			}
-			up, err := trace.Constant(rate, 2000)
-			if err != nil {
-				panic(err)
-			}
-			mk := func() []shells.Shell {
-				return []shells.Shell{
-					shells.NewDelayShell(delay),
-					shells.NewLinkShell(up, down),
-				}
-			}
-			var diffs []float64
-			for _, page := range pages {
-				site := webgen.Materialize(page)
-				multi := PLTms(LoadSpec{
-					Page: page, Site: site, DNSLatency: sim.Millisecond, RequestCPU: DefaultRequestCPU, Shells: mk(),
-				})
-				single := PLTms(LoadSpec{
-					Page: page, Site: site, DNSLatency: sim.Millisecond, RequestCPU: DefaultRequestCPU, Shells: mk(),
-					SingleServer: true,
-				})
-				diffs = append(diffs, stats.AbsRelDiff(single, multi))
-			}
-			result.Cells = append(result.Cells, Table2Cell{
-				Delay: delay, Rate: rate, Diffs: stats.New(diffs),
+			confs = append(confs, netconf{delay, rate})
+		}
+	}
+
+	m := &Matrix{Name: "table2", RootSeed: cfg.Seed}
+	for _, nc := range confs {
+		for si := range pages {
+			m.Cells = append(m.Cells, Cell{
+				Site:  siteLabel(si),
+				Shell: fmt.Sprintf("delay%v+rate%d", nc.delay, nc.rate),
 			})
 		}
 	}
-	return result
+	m.Run = func(i int, c Cell, seed uint64) []float64 {
+		nc := confs[i/len(pages)]
+		page, site := pages[i%len(pages)], sites[i%len(pages)]
+		down, err := trace.Constant(nc.rate, 2000)
+		if err != nil {
+			panic(err)
+		}
+		up, err := trace.Constant(nc.rate, 2000)
+		if err != nil {
+			panic(err)
+		}
+		mk := func() []shells.Shell {
+			return []shells.Shell{
+				shells.NewDelayShell(nc.delay),
+				shells.NewLinkShell(up, down),
+			}
+		}
+		multi := PLTms(LoadSpec{
+			Page: page, Site: site, DNSLatency: sim.Millisecond, RequestCPU: DefaultRequestCPU, Shells: mk(),
+		})
+		single := PLTms(LoadSpec{
+			Page: page, Site: site, DNSLatency: sim.Millisecond, RequestCPU: DefaultRequestCPU, Shells: mk(),
+			SingleServer: true,
+		})
+		return []float64{stats.AbsRelDiff(single, multi)}
+	}
+
+	results := NewRunner(cfg.Parallel).Run(m)
+	var out Table2Result
+	for ci, nc := range confs {
+		acc := stats.NewAccumulator()
+		for si := range pages {
+			acc.Add(results[ci*len(pages)+si]...)
+		}
+		out.Cells = append(out.Cells, Table2Cell{
+			Delay: nc.delay, Rate: nc.rate, Diffs: acc.Sample(),
+		})
+	}
+	return out
 }
 
 // String renders the grid in the paper's layout: "p50%, p95%" per cell,

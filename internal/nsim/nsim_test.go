@@ -291,8 +291,8 @@ func TestLongestPrefixWins(t *testing.T) {
 	eab, ebA := Connect(a, b, nil, nil)
 	eac, ecA := Connect(a, c, nil, nil)
 	_, _ = ebA, ecA
-	a.AddDefaultRoute(eab)                       // default via b
-	a.AddRoute(ParseAddr("10.0.1.2"), 32, eac)   // /32 via c
+	a.AddDefaultRoute(eab)                     // default via b
+	a.AddRoute(ParseAddr("10.0.1.2"), 32, eac) // /32 via c
 	b.AddDefaultRoute(ebA)
 	c.AddDefaultRoute(ecA)
 

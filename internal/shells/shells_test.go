@@ -98,8 +98,8 @@ func TestLinkShellPacing(t *testing.T) {
 	loop.Schedule(200*sim.Microsecond, func(sim.Time) {
 		for i := 0; i < 3; i++ {
 			st.App.Send(&nsim.Datagram{
-				Src: nsim.AddrPort{Addr: appAddr, Port: 7},
-				Dst: nsim.AddrPort{Addr: worldAddr, Port: 7},
+				Src:  nsim.AddrPort{Addr: appAddr, Port: 7},
+				Dst:  nsim.AddrPort{Addr: worldAddr, Port: 7},
 				Size: netem.MTU,
 			})
 		}

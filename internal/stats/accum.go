@@ -1,0 +1,43 @@
+package stats
+
+// Accumulator collects measurement values incrementally and supports
+// merging, so per-cell results computed independently (possibly on
+// different goroutines) can be aggregated into one distribution. The
+// experiment engine's merge step appends each cell's values in matrix
+// order, which makes the merged contents — and therefore every percentile
+// and formatted table derived from them — independent of the order in
+// which cells finished executing.
+//
+// The zero value is an empty accumulator ready for use.
+type Accumulator struct {
+	values []float64
+}
+
+// NewAccumulator returns an empty accumulator.
+func NewAccumulator() *Accumulator { return &Accumulator{} }
+
+// Add appends values to the accumulator.
+func (a *Accumulator) Add(vs ...float64) { a.values = append(a.values, vs...) }
+
+// Merge appends the contents of o, preserving o's insertion order. o is
+// not modified.
+func (a *Accumulator) Merge(o *Accumulator) { a.values = append(a.values, o.values...) }
+
+// Len reports the number of accumulated values.
+func (a *Accumulator) Len() int { return len(a.values) }
+
+// Sample freezes the accumulated values into an immutable sorted Sample.
+// The accumulator remains usable afterwards.
+func (a *Accumulator) Sample() *Sample { return New(a.values) }
+
+// MergeSamples combines several samples into one, as if all underlying
+// values had been collected into a single sample.
+func MergeSamples(samples ...*Sample) *Sample {
+	a := NewAccumulator()
+	for _, s := range samples {
+		if s != nil {
+			a.Add(s.sorted...)
+		}
+	}
+	return a.Sample()
+}

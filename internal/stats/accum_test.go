@@ -1,0 +1,57 @@
+package stats
+
+import "testing"
+
+func TestAccumulatorAddAndSample(t *testing.T) {
+	a := NewAccumulator()
+	a.Add(3, 1)
+	a.Add(2)
+	if a.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", a.Len())
+	}
+	s := a.Sample()
+	if s.Min() != 1 || s.Max() != 3 || s.Median() != 2 {
+		t.Fatalf("sample min/median/max = %v/%v/%v", s.Min(), s.Median(), s.Max())
+	}
+	// The accumulator stays usable after freezing a sample, and the frozen
+	// sample must not see later additions.
+	a.Add(100)
+	if s.Max() != 3 {
+		t.Fatal("frozen sample observed a later Add")
+	}
+	if a.Sample().Max() != 100 {
+		t.Fatal("accumulator lost a post-freeze Add")
+	}
+}
+
+func TestAccumulatorMergeOrder(t *testing.T) {
+	// Merging per-cell accumulators in matrix order must reproduce the
+	// values a sequential run would have appended, regardless of the order
+	// the cells were computed in.
+	a, b := NewAccumulator(), NewAccumulator()
+	a.Add(1, 2)
+	b.Add(3, 4)
+	merged := NewAccumulator()
+	merged.Merge(a)
+	merged.Merge(b)
+	if merged.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", merged.Len())
+	}
+	s := merged.Sample()
+	if s.Min() != 1 || s.Max() != 4 {
+		t.Fatalf("merged range [%v, %v], want [1, 4]", s.Min(), s.Max())
+	}
+	if b.Len() != 2 {
+		t.Fatal("Merge modified its argument")
+	}
+}
+
+func TestMergeSamples(t *testing.T) {
+	s := MergeSamples(New([]float64{5, 1}), nil, New([]float64{3}))
+	if s.Len() != 3 || s.Median() != 3 {
+		t.Fatalf("merged len/median = %d/%v, want 3/3", s.Len(), s.Median())
+	}
+	if MergeSamples().Len() != 0 {
+		t.Fatal("empty merge not empty")
+	}
+}

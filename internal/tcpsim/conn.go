@@ -117,7 +117,7 @@ type Conn struct {
 	// sackList is the sorted, disjoint set of out-of-order byte ranges the
 	// receiver holds, maintained incrementally so ACK generation is O(1)
 	// in the common case.
-	sackList []SackRange
+	sackList   []SackRange
 	peerFin    bool
 	peerFinSeq uint64
 
@@ -546,7 +546,6 @@ func (c *Conn) retransmitNextHole() bool {
 	}
 	return false
 }
-
 
 // reapAcked removes fully acknowledged segments from the retransmit queue
 // and samples RTT from non-retransmitted ones (Karn's algorithm).
