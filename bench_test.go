@@ -11,10 +11,13 @@ import (
 
 	"repro/internal/browser"
 	"repro/internal/experiments"
+	"repro/internal/httpx"
 	"repro/internal/match"
 	"repro/internal/netem"
+	"repro/internal/nsim"
 	"repro/internal/shells"
 	"repro/internal/sim"
+	"repro/internal/tcpsim"
 	"repro/internal/trace"
 	"repro/internal/webgen"
 )
@@ -163,6 +166,7 @@ func BenchmarkAblationDelayBoxFIFO(b *testing.B) {
 }
 
 func benchDelayImpl(b *testing.B, mk func(*sim.Loop) netem.Box) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		loop := sim.NewLoop()
 		box := mk(loop)
@@ -188,6 +192,7 @@ func BenchmarkAblationMatcherPrefix(b *testing.B) {
 	page := webgen.GeneratePage(sim.NewRand(1), webgen.CNBCLike())
 	site := webgen.Materialize(page)
 	m := match.New(site)
+	b.ReportAllocs()
 	b.ResetTimer()
 	// Requests carry perturbed cache-buster suffixes: exact match fails,
 	// the Mahimahi prefix rule recovers.
@@ -267,11 +272,105 @@ func BenchmarkAblationTraceBoxQueue(b *testing.B) {
 func BenchmarkPageLoad(b *testing.B) {
 	page := webgen.GeneratePage(sim.NewRand(2), webgen.WikiHowLike())
 	site := webgen.Materialize(page)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		experiments.Load(experiments.LoadSpec{
 			Page: page, Site: site, DNSLatency: sim.Millisecond,
 			Shells: []shells.Shell{shells.NewDelayShell(30 * sim.Millisecond)},
 		})
+	}
+}
+
+// --- Hot-path microbenches ---
+//
+// These isolate the three layers BenchmarkPageLoad composes — the event
+// loop, the TCP transport over an emulated link, and the replay matcher —
+// so a regression in any one of them is attributable from `go test -bench`
+// output alone. All three report allocations; the loop and matcher paths
+// are expected to stay at (or very near) zero allocs/op in steady state.
+
+// BenchmarkLoopSchedule measures scheduling and firing 64 events per
+// iteration on a warmed loop: the slab + inlined-heap scheduling primitive
+// every simulated packet, timer, and browser event goes through.
+func BenchmarkLoopSchedule(b *testing.B) {
+	loop := sim.NewLoop()
+	h := func(sim.Time) {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < 64; j++ {
+			loop.Schedule(sim.Time(j)*sim.Microsecond, h)
+		}
+		for loop.Step() {
+		}
+	}
+}
+
+// BenchmarkMatcherLookup measures a replay-table lookup against a
+// CNBC-sized archive with the precomputed candidate index and memoized
+// request accessors: the per-request cost of every replayed fetch.
+func BenchmarkMatcherLookup(b *testing.B) {
+	page := webgen.GeneratePage(sim.NewRand(3), webgen.CNBCLike())
+	site := webgen.Materialize(page)
+	m := match.New(site)
+	reqs := make([]*httpx.Request, len(site.Exchanges))
+	for i, e := range site.Exchanges {
+		reqs[i] = e.Request.Clone()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	hits := 0
+	for i := 0; i < b.N; i++ {
+		if _, ok := m.Lookup(reqs[i%len(reqs)]); ok {
+			hits++
+		}
+	}
+	if hits != b.N {
+		b.Fatalf("hits = %d, want %d", hits, b.N)
+	}
+}
+
+// BenchmarkTCPTransfer measures a 1 MiB server-to-client transfer over a
+// 5 ms delay link per iteration: handshake, slow start, pooled
+// segment/packet/datagram lifecycle, and teardown.
+func BenchmarkTCPTransfer(b *testing.B) {
+	const total = 1 << 20
+	payload := make([]byte, total)
+	serverAP := nsim.AddrPort{Addr: nsim.ParseAddr("10.0.0.2"), Port: 80}
+	clientAddr := nsim.ParseAddr("10.0.0.1")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		loop := sim.NewLoop()
+		network := nsim.NewNetwork(loop)
+		cl := network.NewNamespace("client")
+		sv := network.NewNamespace("server")
+		cl.AddAddress(clientAddr)
+		sv.AddAddress(serverAP.Addr)
+		ce, se := nsim.Connect(cl, sv,
+			netem.NewPipeline(netem.NewDelayBox(loop, 5*sim.Millisecond)),
+			netem.NewPipeline(netem.NewDelayBox(loop, 5*sim.Millisecond)))
+		cl.AddDefaultRoute(ce)
+		sv.AddDefaultRoute(se)
+		sstack := tcpsim.NewStack(sv)
+		if err := sstack.Listen(serverAP, func(c *tcpsim.Conn) {
+			c.OnData(func([]byte) {})
+			c.WriteStable(payload)
+			c.Close()
+		}); err != nil {
+			b.Fatal(err)
+		}
+		conn, err := tcpsim.NewStack(cl).Dial(clientAddr, serverAP)
+		if err != nil {
+			b.Fatal(err)
+		}
+		got := 0
+		conn.OnData(func(p []byte) { got += len(p) })
+		conn.Close()
+		loop.Run()
+		if got != total {
+			b.Fatalf("received %d bytes, want %d", got, total)
+		}
 	}
 }

@@ -19,6 +19,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"time"
@@ -37,7 +39,38 @@ func main() {
 	rates := flag.String("rates", "", "sweep: comma-separated link rates in Mbit/s (default 14)")
 	losses := flag.String("losses", "", "sweep: comma-separated loss probabilities (default 0,0.01)")
 	trials := flag.Int("trials", 0, "sweep: jittered loads per (site, stack) cell (0 = default)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the selected experiments to this file")
+	memprofile := flag.String("memprofile", "", "write an allocation profile taken after the run to this file")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fatalf("mm-bench: -cpuprofile: %v", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatalf("mm-bench: -cpuprofile: %v", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		// Report heap-profile errors without exiting: os.Exit here would
+		// skip the deferred StopCPUProfile and corrupt a -cpuprofile
+		// captured in the same run.
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "mm-bench: -memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle live objects so the profile reflects retained memory
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "mm-bench: -memprofile: %v\n", err)
+			}
+		}()
+	}
 
 	run := func(name string, fn func()) {
 		if *exp != "all" && *exp != name {

@@ -92,6 +92,22 @@ type Browser struct {
 	resolver *dnssim.Resolver
 	local    nsim.Addr
 	opts     Options
+	scratch  *Scratch
+}
+
+// Scratch holds a load's bulk working storage — the per-resource fetch
+// table, the child-dependency index, and the request serialization buffer —
+// so a driver running many sequential loads (one browser each) can reuse
+// the allocations. A Scratch must not be shared by concurrently running
+// loads; nil-scratch browsers allocate privately. Results returned by Load
+// never alias scratch memory.
+type Scratch struct {
+	fetches    []fetch
+	children   [][]int
+	childIdx   []int // backing storage for children's sub-slices
+	childFired []bool
+	counts     []int
+	wireBuf    []byte
 }
 
 // New creates a browser. stack must belong to the app namespace; resolver
@@ -109,6 +125,10 @@ func New(stack *tcpsim.Stack, resolver *dnssim.Resolver, local nsim.Addr, opts O
 	}
 }
 
+// UseScratch makes subsequent loads draw bulk working storage from s (nil
+// reverts to private allocation). See Scratch for the sharing rules.
+func (b *Browser) UseScratch(s *Scratch) { b.scratch = s }
+
 // fetch tracks one resource's lifecycle.
 type fetch struct {
 	idx        int
@@ -117,7 +137,6 @@ type fetch struct {
 	discovered bool
 	doneNet    bool // body fully received
 	doneCPU    bool // parse/execute finished
-	childFired map[int]bool
 }
 
 // poolConn is one persistent connection in an origin pool.
@@ -139,7 +158,6 @@ type poolConn struct {
 
 // pool is the per-origin connection pool.
 type pool struct {
-	key   string
 	addr  nsim.Addr
 	port  uint16
 	conns []*poolConn
@@ -148,11 +166,15 @@ type pool struct {
 
 // load is one in-progress page load.
 type load struct {
-	b        *Browser
-	page     *webgen.Page
-	fetches  []*fetch
-	children map[int][]int
-	pools    map[string]*pool
+	b       *Browser
+	page    *webgen.Page
+	fetches []fetch
+	// children[i] lists resource i's child indices; childFired[c] records
+	// that child c's discovery was triggered (each child has exactly one
+	// parent, so the flag can be global).
+	children   [][]int
+	childFired []bool
+	pools      map[originKey]*pool
 	// resolving dedupes concurrent DNS lookups per host.
 	resolved  map[string]nsim.Addr
 	resolving map[string][]func(nsim.Addr)
@@ -160,6 +182,7 @@ type load struct {
 	result    Result
 	done      func(Result)
 	finished  bool
+	wireBuf   []byte // recycled request serialization buffer
 	// Main-thread model: CPU tasks run serially.
 	mainBusy  bool
 	mainQueue []mainTask
@@ -197,33 +220,73 @@ func (b *Browser) Load(page *webgen.Page, done func(Result)) {
 	if err := page.Validate(); err != nil {
 		panic(fmt.Sprintf("browser: invalid page: %v", err))
 	}
+	sc := b.scratch
+	if sc == nil {
+		sc = &Scratch{}
+	}
+	n := len(page.Resources)
 	l := &load{
 		b:         b,
 		page:      page,
-		children:  map[int][]int{},
-		pools:     map[string]*pool{},
+		pools:     map[originKey]*pool{},
 		resolved:  map[string]nsim.Addr{},
 		resolving: map[string][]func(nsim.Addr){},
 		done:      done,
+		wireBuf:   sc.wireBuf[:0],
 	}
 	l.result.Page = page
 	l.result.Start = b.loop.Now()
+
+	// Fetch table and child index, in recycled scratch storage. Children
+	// are bucketed with a counting pass so the whole index lives in one
+	// backing array.
+	l.fetches = resize(sc.fetches, n)
+	l.childFired = resize(sc.childFired, n)
+	counts := resize(sc.counts, n)
 	for i := range page.Resources {
-		l.fetches = append(l.fetches, &fetch{
-			idx: i, res: &page.Resources[i], childFired: map[int]bool{},
-		})
-		if i > 0 {
-			p := page.Resources[i].Parent
-			l.children[p] = append(l.children[p], i)
-		}
+		l.fetches[i] = fetch{idx: i, res: &page.Resources[i]}
+		l.childFired[i] = false
+		counts[i] = 0
 	}
-	l.pending = len(l.fetches)
+	for i := 1; i < n; i++ {
+		counts[page.Resources[i].Parent]++
+	}
+	l.children = resize(sc.children, n)
+	childIdx := resize(sc.childIdx, n-1)
+	off := 0
+	for i := 0; i < n; i++ {
+		l.children[i] = childIdx[off : off : off+counts[i]]
+		off += counts[i]
+	}
+	for i := 1; i < n; i++ {
+		p := page.Resources[i].Parent
+		l.children[p] = append(l.children[p], i)
+	}
+	// Return the (possibly grown) storage to the caller's scratch for the
+	// next load; a private scratch dies with this load.
+	if b.scratch != nil {
+		sc.fetches, sc.childFired, sc.counts = l.fetches, l.childFired, counts
+		sc.children, sc.childIdx = l.children, childIdx
+	}
+
+	l.pending = n
 	l.discover(0)
+}
+
+// resize returns s with length n, reusing its capacity when possible.
+func resize[T any](s []T, n int) []T {
+	if n < 0 {
+		n = 0
+	}
+	if cap(s) >= n {
+		return s[:n]
+	}
+	return make([]T, n)
 }
 
 // discover marks a resource visible and begins fetching it.
 func (l *load) discover(idx int) {
-	f := l.fetches[idx]
+	f := &l.fetches[idx]
 	if f.discovered {
 		return
 	}
@@ -262,24 +325,24 @@ func (l *load) resolve(host string, fn func(nsim.Addr)) {
 	})
 }
 
-// poolKey groups connections the way HTTP/1.1 browsers do: per
-// scheme://host:port. Note this keys on the *hostname*, so ReplayShell's
+// originKey groups connections the way HTTP/1.1 browsers do: per
+// (scheme, host, port). Note this keys on the *hostname*, so ReplayShell's
 // single-server ablation does not change the connection count — what it
 // changes is that every pool's requests converge on one server process,
 // whose per-request CPU then serializes (replayshell.Config.RequestCPU).
 // That server-side convergence is the distortion mechanism the paper's
 // Table 2 and Figure 3 measure.
-func poolKey(r *webgen.Resource, addr nsim.Addr) string {
-	_ = addr
-	return fmt.Sprintf("%s://%s:%d", r.Scheme, r.Host, r.Port)
+type originKey struct {
+	scheme, host string
+	port         uint16
 }
 
 // enqueue hands the fetch to its origin pool.
 func (l *load) enqueue(f *fetch, addr nsim.Addr) {
-	key := poolKey(f.res, addr)
+	key := originKey{scheme: f.res.Scheme, host: f.res.Host, port: f.res.Port}
 	p, ok := l.pools[key]
 	if !ok {
-		p = &pool{key: key, addr: addr, port: f.res.Port}
+		p = &pool{addr: addr, port: f.res.Port}
 		l.pools[key] = p
 	}
 	p.queue = append(p.queue, f)
@@ -363,7 +426,8 @@ func (l *load) dial(p *pool) *poolConn {
 }
 
 // issuePending writes every assigned-but-unwritten request on the
-// connection.
+// connection. Requests serialize into the load's recycled wire buffer
+// (Conn.Write copies).
 func (l *load) issuePending(pc *poolConn) {
 	for pc.issued < len(pc.inflight) {
 		f := pc.inflight[pc.issued]
@@ -371,7 +435,8 @@ func (l *load) issuePending(pc *poolConn) {
 		f.timing.Start = l.b.loop.Now()
 		req := webgen.BuildRequest(f.res)
 		pc.parser.ExpectMethod(req.Method)
-		pc.tc.Write(req.Marshal())
+		l.wireBuf = req.AppendWire(l.wireBuf[:0])
+		pc.tc.Write(l.wireBuf)
 	}
 }
 
@@ -423,8 +488,8 @@ func (l *load) progress(f *fetch, bodyBytes int) {
 	frac := float64(bodyBytes) / float64(f.res.Size)
 	for _, child := range l.children[f.idx] {
 		ca := l.page.Resources[child].DiscoverAt
-		if ca < 1.0 && frac >= ca && !f.childFired[child] {
-			f.childFired[child] = true
+		if ca < 1.0 && frac >= ca && !l.childFired[child] {
+			l.childFired[child] = true
 			l.discover(child)
 		}
 	}
@@ -450,8 +515,8 @@ func (l *load) resourceNetDone(f *fetch) {
 		// Children not yet discovered (DiscoverAt == 1.0, or progress was
 		// coarse) are discovered after parse.
 		for _, child := range l.children[f.idx] {
-			if !f.childFired[child] {
-				f.childFired[child] = true
+			if !l.childFired[child] {
+				l.childFired[child] = true
 				l.discover(child)
 			}
 		}
@@ -468,8 +533,12 @@ func (l *load) complete() {
 	}
 	l.finished = true
 	l.result.PLT = l.b.loop.Now() - l.result.Start
-	for _, f := range l.fetches {
-		l.result.Timings = append(l.result.Timings, f.timing)
+	l.result.Timings = make([]ResourceTiming, 0, len(l.fetches))
+	for i := range l.fetches {
+		l.result.Timings = append(l.result.Timings, l.fetches[i].timing)
+	}
+	if sc := l.b.scratch; sc != nil {
+		sc.wireBuf = l.wireBuf // keep the grown buffer for the next load
 	}
 	// Close all connections so the event loop drains.
 	for _, p := range l.pools {

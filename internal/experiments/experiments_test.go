@@ -4,6 +4,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/browser"
 	"repro/internal/shells"
 	"repro/internal/sim"
 )
@@ -24,6 +25,39 @@ func TestLoadDeterministicWithoutJitter(t *testing.T) {
 	spec := LoadSpec{Page: page, DNSLatency: sim.Millisecond}
 	if Load(spec).PLT != Load(spec).PLT {
 		t.Fatal("jitter-free loads differ")
+	}
+}
+
+func TestLoadScratchReuseIsInvisible(t *testing.T) {
+	// A shared Scratch warms pools across loads but must never change
+	// results: fresh-scratch, reused-scratch, and alternating-site loads
+	// all agree with each other, resource for resource.
+	pages := corpusPages(1, 20)
+	specA := LoadSpec{Page: pages[3], DNSLatency: sim.Millisecond,
+		Shells: []shells.Shell{shells.NewDelayShell(20 * sim.Millisecond)}}
+	specB := LoadSpec{Page: pages[4], DNSLatency: sim.Millisecond}
+
+	fresh := Load(specA)
+	sc := NewScratch()
+	specA.Scratch, specB.Scratch = sc, sc
+	first := Load(specA)
+	Load(specB) // interleave another site through the same scratch
+	again := Load(specA)
+
+	for _, r := range []struct {
+		name string
+		got  browser.Result
+	}{{"first scratch load", first}, {"post-reuse load", again}} {
+		if r.got.PLT != fresh.PLT || r.got.Resources != fresh.Resources ||
+			r.got.Bytes != fresh.Bytes || r.got.Errors != fresh.Errors {
+			t.Fatalf("%s diverged: PLT %v vs %v", r.name, r.got.PLT, fresh.PLT)
+		}
+		for i := range fresh.Timings {
+			if r.got.Timings[i] != fresh.Timings[i] {
+				t.Fatalf("%s: timing %d differs: %+v vs %+v",
+					r.name, i, r.got.Timings[i], fresh.Timings[i])
+			}
+		}
 	}
 }
 

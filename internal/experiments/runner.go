@@ -12,8 +12,11 @@
 package experiments
 
 import (
+	"sync"
+
 	"repro/internal/archive"
 	"repro/internal/browser"
+	"repro/internal/match"
 	"repro/internal/nsim"
 	"repro/internal/replayshell"
 	"repro/internal/shells"
@@ -54,12 +57,62 @@ type LoadSpec struct {
 	Rand *sim.Rand
 	// Browser overrides browser options; nil uses defaults.
 	Browser *browser.Options
+	// Scratch carries warmed object pools and working storage across
+	// sequential loads (nil draws one from a shared pool for the duration
+	// of the load). See Scratch.
+	Scratch *Scratch
 }
 
-// Load runs one page load in a fresh network and returns the result.
+// Scratch bundles every reusable buffer and object pool a page load
+// touches: the browser's working storage, the network's packet/datagram
+// pools, the TCP stacks' segment pool, and a per-site matcher index. One
+// scratch serves one load at a time; reusing it across the sequential
+// loads of a benchmark iteration or matrix cell removes per-load pool
+// warmup from the hot path. Scratch contents never influence results —
+// only where allocations come from — so reuse preserves byte-identical
+// experiment artifacts.
+type Scratch struct {
+	browser  browser.Scratch
+	pools    *nsim.PoolSet
+	segments *tcpsim.SegmentPool
+
+	matcherSite *archive.Site
+	matcher     *match.Matcher
+}
+
+// NewScratch returns an empty scratch.
+func NewScratch() *Scratch {
+	return &Scratch{pools: &nsim.PoolSet{}, segments: &tcpsim.SegmentPool{}}
+}
+
+// matcherFor returns a matcher index for site, rebuilding only when the
+// site changes.
+func (s *Scratch) matcherFor(site *archive.Site) *match.Matcher {
+	if s.matcherSite != site {
+		s.matcher = match.New(site)
+		s.matcherSite = site
+	}
+	return s.matcher
+}
+
+// scratchPool recycles Scratches for Load calls without an explicit one.
+// sync.Pool hands a scratch to exactly one goroutine at a time, so pooled
+// reuse is race-free even under a parallel Runner.
+var scratchPool = sync.Pool{New: func() any { return NewScratch() }}
+
+// Load runs one page load in a fresh network and returns the result. The
+// simulation's bulk allocations (packets, datagrams, segments, browser
+// working storage, the replay matcher index) come from spec.Scratch — or
+// from a shared recycled scratch when nil — so sequential loads reuse one
+// warmed set of pools instead of reallocating it per load.
 func Load(spec LoadSpec) browser.Result {
+	sc := spec.Scratch
+	if sc == nil {
+		sc = scratchPool.Get().(*Scratch)
+		defer scratchPool.Put(sc)
+	}
 	loop := sim.NewLoop()
-	network := nsim.NewNetwork(loop)
+	network := nsim.NewNetworkPooled(loop, sc.pools)
 	site := spec.Site
 	if site == nil {
 		site = webgen.Materialize(spec.Page)
@@ -69,6 +122,8 @@ func Load(spec LoadSpec) browser.Result {
 		SingleServer: spec.SingleServer,
 		DNSLatency:   spec.DNSLatency,
 		RequestCPU:   spec.RequestCPU,
+		Matcher:      sc.matcherFor(site),
+		Segments:     sc.segments,
 	})
 	if err != nil {
 		panic("experiments: " + err.Error())
@@ -85,7 +140,8 @@ func Load(spec LoadSpec) browser.Result {
 			opts.CPUScale = 0.1
 		}
 	}
-	b := browser.New(tcpsim.NewStack(st.App), replay.Resolver, AppAddr, opts)
+	b := browser.New(tcpsim.NewStackPool(st.App, sc.segments), replay.Resolver, AppAddr, opts)
+	b.UseScratch(&sc.browser)
 	var result browser.Result
 	b.Load(spec.Page, func(r browser.Result) { result = r })
 	loop.Run()

@@ -14,8 +14,8 @@
 package httpx
 
 import (
-	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 )
 
@@ -24,6 +24,9 @@ import (
 // byte-exactly; lookups are case-insensitive per RFC 7230.
 type Header struct {
 	fields []Field
+	// rev increments on every mutation; Request.Host uses it to validate
+	// its memoized lookup.
+	rev uint32
 }
 
 // Field is a single header line.
@@ -34,6 +37,16 @@ type Field struct {
 // Add appends a field, preserving order.
 func (h *Header) Add(name, value string) {
 	h.fields = append(h.fields, Field{Name: name, Value: value})
+	h.rev++
+}
+
+// grow pre-sizes the field slice for n upcoming Adds.
+func (h *Header) grow(n int) {
+	if cap(h.fields)-len(h.fields) < n {
+		fields := make([]Field, len(h.fields), len(h.fields)+n)
+		copy(fields, h.fields)
+		h.fields = fields
+	}
 }
 
 // Set replaces every field with the given (case-insensitive) name by a
@@ -55,6 +68,7 @@ func (h *Header) Set(name, value string) {
 		out = append(out, Field{Name: name, Value: value})
 	}
 	h.fields = out
+	h.rev++
 }
 
 // Get returns the first value of the (case-insensitive) name, or "".
@@ -86,6 +100,7 @@ func (h *Header) Del(name string) {
 		}
 	}
 	h.fields = out
+	h.rev++
 }
 
 // Len reports the number of fields.
@@ -96,7 +111,7 @@ func (h *Header) Fields() []Field { return h.fields }
 
 // Clone returns a deep copy.
 func (h *Header) Clone() Header {
-	out := Header{fields: make([]Field, len(h.fields))}
+	out := Header{fields: make([]Field, len(h.fields)), rev: h.rev}
 	copy(out.fields, h.fields)
 	return out
 }
@@ -116,14 +131,26 @@ func (h *Header) Names() []string {
 	return names
 }
 
-// write serializes the header block (without the terminating blank line).
-func (h *Header) write(b *strings.Builder) {
+// appendTo serializes the header block (without the terminating blank
+// line) onto dst.
+func (h *Header) appendTo(dst []byte) []byte {
 	for _, f := range h.fields {
-		b.WriteString(f.Name)
-		b.WriteString(": ")
-		b.WriteString(f.Value)
-		b.WriteString("\r\n")
+		dst = append(dst, f.Name...)
+		dst = append(dst, ": "...)
+		dst = append(dst, f.Value...)
+		dst = append(dst, "\r\n"...)
 	}
+	return dst
+}
+
+// SplitTarget splits a request-target at its '?' into path and raw query
+// (no leading '?'). It is the pure counterpart of Request.Path/Query for
+// callers indexing shared, possibly concurrently read requests.
+func SplitTarget(target string) (path, query string) {
+	if i := strings.IndexByte(target, '?'); i >= 0 {
+		return target[:i], target[i+1:]
+	}
+	return target, ""
 }
 
 // Request is an HTTP/1.1 request message.
@@ -139,35 +166,70 @@ type Request struct {
 	// time. Mahimahi records both; the scheme is not on the wire in the
 	// request line, so it travels out of band.
 	Scheme string
+
+	// Memoized accessor results. The replay matcher calls Host/Path/Query
+	// on every lookup; memoizing makes repeated lookups parse-free. The
+	// memos self-invalidate: target memos against the Target string,
+	// the host memo against the header revision. Accessors therefore
+	// mutate the request and must not be used on requests shared between
+	// goroutines — use SplitTarget/Header.Get there instead.
+	memoTarget  string
+	memoPath    string
+	memoQuery   string
+	memoValid   bool
+	memoHost    string
+	memoHostRev uint32 // Header.rev+1 at memo time; 0 = no memo
 }
 
-// Host returns the Host header.
-func (r *Request) Host() string { return r.Header.Get("Host") }
+// Host returns the Host header, memoized against header mutations.
+func (r *Request) Host() string {
+	if r.memoHostRev != r.Header.rev+1 {
+		r.memoHost = r.Header.Get("Host")
+		r.memoHostRev = r.Header.rev + 1
+	}
+	return r.memoHost
+}
 
 // Path returns the request-target without its query string.
 func (r *Request) Path() string {
-	if i := strings.IndexByte(r.Target, '?'); i >= 0 {
-		return r.Target[:i]
+	if !r.memoValid || r.memoTarget != r.Target {
+		r.parseTarget()
 	}
-	return r.Target
+	return r.memoPath
 }
 
 // Query returns the raw query string (no leading '?'), or "".
 func (r *Request) Query() string {
-	if i := strings.IndexByte(r.Target, '?'); i >= 0 {
-		return r.Target[i+1:]
+	if !r.memoValid || r.memoTarget != r.Target {
+		r.parseTarget()
 	}
-	return ""
+	return r.memoQuery
+}
+
+func (r *Request) parseTarget() {
+	r.memoPath, r.memoQuery = SplitTarget(r.Target)
+	r.memoTarget = r.Target
+	r.memoValid = true
 }
 
 // Marshal serializes the request to its exact wire form.
 func (r *Request) Marshal() []byte {
-	var b strings.Builder
-	fmt.Fprintf(&b, "%s %s %s\r\n", r.Method, r.Target, r.Proto)
-	r.Header.write(&b)
-	b.WriteString("\r\n")
-	out := []byte(b.String())
-	return append(out, r.Body...)
+	return r.AppendWire(nil)
+}
+
+// AppendWire appends the request's exact wire form to dst and returns the
+// extended slice. Passing a recycled buffer makes serialization
+// allocation-free.
+func (r *Request) AppendWire(dst []byte) []byte {
+	dst = append(dst, r.Method...)
+	dst = append(dst, ' ')
+	dst = append(dst, r.Target...)
+	dst = append(dst, ' ')
+	dst = append(dst, r.Proto...)
+	dst = append(dst, "\r\n"...)
+	dst = r.Header.appendTo(dst)
+	dst = append(dst, "\r\n"...)
+	return append(dst, r.Body...)
 }
 
 // Clone returns a deep copy.
@@ -191,12 +253,28 @@ type Response struct {
 // re-framed with Content-Length (the bytes delivered to the application are
 // identical; Mahimahi's replay CGI does the same).
 func (r *Response) Marshal() []byte {
-	var b strings.Builder
-	fmt.Fprintf(&b, "%s %d %s\r\n", r.Proto, r.StatusCode, r.Reason)
-	r.Header.write(&b)
-	b.WriteString("\r\n")
-	out := []byte(b.String())
-	return append(out, r.Body...)
+	return r.AppendWire(nil)
+}
+
+// AppendWire appends the response's wire form to dst and returns the
+// extended slice. Passing a recycled buffer makes serialization
+// allocation-free.
+func (r *Response) AppendWire(dst []byte) []byte {
+	return append(r.AppendHead(dst), r.Body...)
+}
+
+// AppendHead appends the status line and header block (including the
+// terminating blank line, excluding the body) to dst. Servers that send
+// the recorded body by reference pair it with a stable serialized head.
+func (r *Response) AppendHead(dst []byte) []byte {
+	dst = append(dst, r.Proto...)
+	dst = append(dst, ' ')
+	dst = strconv.AppendInt(dst, int64(r.StatusCode), 10)
+	dst = append(dst, ' ')
+	dst = append(dst, r.Reason...)
+	dst = append(dst, "\r\n"...)
+	dst = r.Header.appendTo(dst)
+	return append(dst, "\r\n"...)
 }
 
 // Clone returns a deep copy.

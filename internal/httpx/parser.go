@@ -135,8 +135,26 @@ func (p *ResponseParser) nextMethod() string {
 
 // Feed appends data and returns any responses completed by it.
 func (p *ResponseParser) Feed(data []byte) ([]*Response, error) {
-	p.buf.Write(data)
 	var out []*Response
+	// Fast path: mid-body with an empty reassembly buffer (the steady
+	// state while a large response streams in). Bytes go straight from the
+	// transport into the body, skipping the double copy through buf.
+	for p.phase == phaseBodyLength && p.buf.Len() == 0 && len(data) > 0 {
+		n := p.need
+		if n > len(data) {
+			n = len(data)
+		}
+		p.cur.Body = append(p.cur.Body, data[:n]...)
+		p.need -= n
+		data = data[n:]
+		if p.need == 0 {
+			out = append(out, p.finishResponse())
+		}
+	}
+	if len(data) == 0 && p.phase == phaseBodyLength {
+		return out, nil
+	}
+	p.buf.Write(data)
 	for {
 		switch p.phase {
 		case phaseHead:
@@ -162,6 +180,7 @@ func (p *ResponseParser) Feed(data []byte) ([]*Response, error) {
 			case chunked:
 				p.phase = phaseBodyChunkSize
 			case n > 0:
+				p.cur.Body = make([]byte, 0, n) // sized once; no growth churn
 				p.need = n
 				p.phase = phaseBodyLength
 			default:
@@ -217,21 +236,35 @@ func cutHead(buf []byte) (head, rest []byte, ok bool) {
 	return buf[:i], buf[i+4:], true
 }
 
+// cutLine splits s at its first CRLF (or end of string), returning the
+// line and the remainder. Operating on substrings of the single string
+// copy made per message head keeps parsing allocation-free.
+func cutLine(s string) (line, rest string) {
+	if i := strings.Index(s, "\r\n"); i >= 0 {
+		return s[:i], s[i+2:]
+	}
+	return s, ""
+}
+
+// countLines reports the number of CRLF-separated lines in s, for
+// pre-sizing the header field slice.
+func countLines(s string) int {
+	return strings.Count(s, "\r\n") + 1
+}
+
 // parseRequestHead parses a request line plus header block.
 func parseRequestHead(head []byte) (*Request, error) {
-	lines := strings.Split(string(head), "\r\n")
-	if len(lines) == 0 {
-		return nil, fmt.Errorf("%w: empty head", ErrMalformed)
-	}
-	parts := strings.SplitN(lines[0], " ", 3)
+	text := string(head) // the single copy; all parsed strings share it
+	first, rest := cutLine(text)
+	parts := strings.SplitN(first, " ", 3)
 	if len(parts) != 3 || parts[0] == "" || parts[1] == "" {
-		return nil, fmt.Errorf("%w: request line %q", ErrMalformed, lines[0])
+		return nil, fmt.Errorf("%w: request line %q", ErrMalformed, first)
 	}
 	if !strings.HasPrefix(parts[2], "HTTP/") {
 		return nil, fmt.Errorf("%w: bad version %q", ErrMalformed, parts[2])
 	}
 	req := &Request{Method: parts[0], Target: parts[1], Proto: parts[2], Scheme: "http"}
-	if err := parseFields(lines[1:], &req.Header); err != nil {
+	if err := parseFields(rest, &req.Header); err != nil {
 		return nil, err
 	}
 	return req, nil
@@ -239,13 +272,11 @@ func parseRequestHead(head []byte) (*Request, error) {
 
 // parseResponseHead parses a status line plus header block.
 func parseResponseHead(head []byte) (*Response, error) {
-	lines := strings.Split(string(head), "\r\n")
-	if len(lines) == 0 {
-		return nil, fmt.Errorf("%w: empty head", ErrMalformed)
-	}
-	parts := strings.SplitN(lines[0], " ", 3)
+	text := string(head)
+	first, rest := cutLine(text)
+	parts := strings.SplitN(first, " ", 3)
 	if len(parts) < 2 || !strings.HasPrefix(parts[0], "HTTP/") {
-		return nil, fmt.Errorf("%w: status line %q", ErrMalformed, lines[0])
+		return nil, fmt.Errorf("%w: status line %q", ErrMalformed, first)
 	}
 	code, err := strconv.Atoi(parts[1])
 	if err != nil || code < 100 || code > 599 {
@@ -256,14 +287,17 @@ func parseResponseHead(head []byte) (*Response, error) {
 		reason = parts[2]
 	}
 	resp := &Response{Proto: parts[0], StatusCode: code, Reason: reason}
-	if err := parseFields(lines[1:], &resp.Header); err != nil {
+	if err := parseFields(rest, &resp.Header); err != nil {
 		return nil, err
 	}
 	return resp, nil
 }
 
-func parseFields(lines []string, h *Header) error {
-	for _, line := range lines {
+func parseFields(block string, h *Header) error {
+	h.grow(countLines(block))
+	for block != "" {
+		var line string
+		line, block = cutLine(block)
 		if line == "" {
 			continue
 		}

@@ -29,20 +29,39 @@ type key struct {
 	scheme, host, path string
 }
 
+// candidate is one recorded exchange with its request-line fields parsed
+// out at index-build time, so Lookup never re-parses a stored request. The
+// fields are extracted with pure helpers (httpx.SplitTarget, Header.Get)
+// rather than the memoizing Request accessors, because recorded sites are
+// shared read-only across concurrent experiment cells.
+type candidate struct {
+	ex     *archive.Exchange
+	method string
+	target string
+	query  string
+}
+
 // Matcher locates recorded responses for incoming requests.
 type Matcher struct {
-	byPath map[key][]*archive.Exchange
+	byPath map[key][]candidate
 	total  int
 	// stats
 	exact, prefix, miss uint64
 }
 
-// New builds a matcher over a site's exchanges.
+// New builds a matcher over a site's exchanges, precomputing each
+// candidate's parsed query so lookups are parse-free.
 func New(site *archive.Site) *Matcher {
-	m := &Matcher{byPath: make(map[key][]*archive.Exchange)}
+	m := &Matcher{byPath: make(map[key][]candidate)}
 	for _, e := range site.Exchanges {
-		k := key{scheme: e.Scheme, host: e.Request.Host(), path: e.Request.Path()}
-		m.byPath[k] = append(m.byPath[k], e)
+		path, query := httpx.SplitTarget(e.Request.Target)
+		k := key{scheme: e.Scheme, host: e.Request.Header.Get("Host"), path: path}
+		m.byPath[k] = append(m.byPath[k], candidate{
+			ex:     e,
+			method: e.Request.Method,
+			target: e.Request.Target,
+			query:  query,
+		})
 		m.total++
 	}
 	return m
@@ -68,17 +87,18 @@ func (m *Matcher) Lookup(req *httpx.Request) (*httpx.Response, bool) {
 	var best *archive.Exchange
 	bestLen := -1
 	q := req.Query()
-	for _, e := range candidates {
-		if e.Request.Method != req.Method {
+	for i := range candidates {
+		c := &candidates[i]
+		if c.method != req.Method {
 			continue
 		}
-		if e.Request.Target == req.Target {
+		if c.target == req.Target {
 			m.exact++
-			return e.Response, true
+			return c.ex.Response, true
 		}
-		if l := commonPrefixLen(e.Request.Query(), q); l > bestLen {
+		if l := commonPrefixLen(c.query, q); l > bestLen {
 			bestLen = l
-			best = e
+			best = c.ex
 		}
 	}
 	if best != nil {

@@ -19,6 +19,10 @@ type DelayBox struct {
 	delay sim.Time
 	sink  Sink
 	stats BoxStats
+	// releaseFn is the release method pre-bound once, so each packet's
+	// delivery event carries the packet as the event argument instead of a
+	// freshly allocated closure.
+	releaseFn sim.ArgHandler
 }
 
 // NewDelayBox returns a fixed one-way-delay box. A zero delay degenerates to
@@ -27,7 +31,9 @@ func NewDelayBox(loop *sim.Loop, delay sim.Time) *DelayBox {
 	if delay < 0 {
 		panic(fmt.Sprintf("netem: negative delay %v", delay))
 	}
-	return &DelayBox{loop: loop, delay: delay}
+	d := &DelayBox{loop: loop, delay: delay}
+	d.releaseFn = d.release
+	return d
 }
 
 // Delay reports the configured one-way delay.
@@ -46,13 +52,17 @@ func (d *DelayBox) Send(pkt *Packet) {
 		d.stats.MaxQueueLen = d.stats.QueueLen
 	}
 	pkt.Sent = d.loop.Now()
-	d.loop.Schedule(d.delay, func(sim.Time) {
-		d.stats.QueueLen--
-		d.stats.QueueBytes -= pkt.Size
-		d.stats.Delivered++
-		d.stats.DeliveredBytes += uint64(pkt.Size)
-		d.sink(pkt)
-	})
+	d.loop.ScheduleArg(d.delay, d.releaseFn, pkt)
+}
+
+// release delivers one delayed packet to the sink.
+func (d *DelayBox) release(_ sim.Time, arg any) {
+	pkt := arg.(*Packet)
+	d.stats.QueueLen--
+	d.stats.QueueBytes -= pkt.Size
+	d.stats.Delivered++
+	d.stats.DeliveredBytes += uint64(pkt.Size)
+	d.sink(pkt)
 }
 
 // SetSink implements Box.
@@ -69,13 +79,14 @@ func (d *DelayBox) Stats() BoxStats { return d.stats }
 // bench in the repository root compares the two implementations'
 // event-loop load.
 type FIFODelayBox struct {
-	loop  *sim.Loop
-	delay sim.Time
-	sink  Sink
-	queue []fifoEntry
-	head  int
-	armed bool
-	stats BoxStats
+	loop   *sim.Loop
+	delay  sim.Time
+	sink   Sink
+	queue  []fifoEntry
+	head   int
+	armed  bool
+	stats  BoxStats
+	fireFn sim.Handler // fire pre-bound once; see DelayBox.releaseFn
 }
 
 type fifoEntry struct {
@@ -89,7 +100,9 @@ func NewFIFODelayBox(loop *sim.Loop, delay sim.Time) *FIFODelayBox {
 	if delay < 0 {
 		panic(fmt.Sprintf("netem: negative delay %v", delay))
 	}
-	return &FIFODelayBox{loop: loop, delay: delay}
+	d := &FIFODelayBox{loop: loop, delay: delay}
+	d.fireFn = d.fire
+	return d
 }
 
 // Send implements Box.
@@ -111,22 +124,24 @@ func (d *FIFODelayBox) arm() {
 		return
 	}
 	d.armed = true
-	head := d.queue[d.head]
-	d.loop.ScheduleAt(head.release, func(sim.Time) {
-		d.armed = false
-		e := d.queue[d.head]
-		d.queue[d.head] = fifoEntry{}
-		d.head++
-		if d.head > 64 && d.head*2 >= len(d.queue) {
-			n := copy(d.queue, d.queue[d.head:])
-			d.queue = d.queue[:n]
-			d.head = 0
-		}
-		d.stats.Delivered++
-		d.stats.DeliveredBytes += uint64(e.pkt.Size)
-		d.sink(e.pkt)
-		d.arm()
-	})
+	d.loop.ScheduleAt(d.queue[d.head].release, d.fireFn)
+}
+
+// fire releases the head packet and rearms for the next.
+func (d *FIFODelayBox) fire(sim.Time) {
+	d.armed = false
+	e := d.queue[d.head]
+	d.queue[d.head] = fifoEntry{}
+	d.head++
+	if d.head > 64 && d.head*2 >= len(d.queue) {
+		n := copy(d.queue, d.queue[d.head:])
+		d.queue = d.queue[:n]
+		d.head = 0
+	}
+	d.stats.Delivered++
+	d.stats.DeliveredBytes += uint64(e.pkt.Size)
+	d.sink(e.pkt)
+	d.arm()
 }
 
 // SetSink implements Box.
@@ -193,6 +208,8 @@ type RateBox struct {
 	sink    Sink
 	stats   BoxStats
 	sending bool
+	cur     *Packet     // packet occupying the transmitter
+	doneFn  sim.Handler // finish pre-bound once; see DelayBox.releaseFn
 }
 
 // NewRateBox returns a fixed-rate box. bitsPerSec must be positive. queue
@@ -204,7 +221,9 @@ func NewRateBox(loop *sim.Loop, bitsPerSec int64, queue *DropTail) *RateBox {
 	if queue == nil {
 		queue = NewDropTail(0, 0)
 	}
-	return &RateBox{loop: loop, bps: bitsPerSec, queue: queue}
+	r := &RateBox{loop: loop, bps: bitsPerSec, queue: queue}
+	r.doneFn = r.finish
+	return r
 }
 
 // transmitTime is the serialization delay of a packet at the box's rate.
@@ -239,14 +258,20 @@ func (r *RateBox) startNext() {
 		return
 	}
 	r.sending = true
-	r.loop.Schedule(r.transmitTime(pkt.Size), func(sim.Time) {
-		r.stats.Delivered++
-		r.stats.DeliveredBytes += uint64(pkt.Size)
-		r.stats.QueueLen = r.queue.Len()
-		r.stats.QueueBytes = r.queue.Bytes()
-		r.sink(pkt)
-		r.startNext()
-	})
+	r.cur = pkt
+	r.loop.Schedule(r.transmitTime(pkt.Size), r.doneFn)
+}
+
+// finish completes the current packet's serialization and starts the next.
+func (r *RateBox) finish(sim.Time) {
+	pkt := r.cur
+	r.cur = nil
+	r.stats.Delivered++
+	r.stats.DeliveredBytes += uint64(pkt.Size)
+	r.stats.QueueLen = r.queue.Len()
+	r.stats.QueueBytes = r.queue.Bytes()
+	r.sink(pkt)
+	r.startNext()
 }
 
 // SetSink implements Box.

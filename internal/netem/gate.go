@@ -24,6 +24,7 @@ type GateBox struct {
 	queue  *DropTail
 	sink   Sink
 	stats  BoxStats
+	flipFn sim.Handler // flip pre-bound once, so periods schedule closure-free
 }
 
 // NewGateBox returns an intermittent-link box that starts in the on state.
@@ -41,8 +42,9 @@ func NewGateBox(loop *sim.Loop, on, off sim.Time, jitter float64, rng *sim.Rand,
 		queue = NewDropTail(0, 0)
 	}
 	g := &GateBox{loop: loop, on: on, off: off, jitter: jitter, rng: rng, isOn: true, queue: queue}
+	g.flipFn = g.flip
 	if off > 0 {
-		g.scheduleFlip(g.period(on))
+		g.loop.Schedule(g.period(on), g.flipFn)
 	}
 	return g
 }
@@ -57,23 +59,21 @@ func (g *GateBox) period(nominal sim.Time) sim.Time {
 	return g.rng.Jitter(nominal, g.jitter)
 }
 
-func (g *GateBox) scheduleFlip(after sim.Time) {
-	g.loop.Schedule(after, func(sim.Time) {
-		g.isOn = !g.isOn
-		if g.isOn {
-			// Link restored: drain everything held during the outage.
-			for {
-				pkt := g.queue.Pop()
-				if pkt == nil {
-					break
-				}
-				g.deliver(pkt)
+func (g *GateBox) flip(sim.Time) {
+	g.isOn = !g.isOn
+	if g.isOn {
+		// Link restored: drain everything held during the outage.
+		for {
+			pkt := g.queue.Pop()
+			if pkt == nil {
+				break
 			}
-			g.scheduleFlip(g.period(g.on))
-		} else {
-			g.scheduleFlip(g.period(g.off))
+			g.deliver(pkt)
 		}
-	})
+		g.loop.Schedule(g.period(g.on), g.flipFn)
+	} else {
+		g.loop.Schedule(g.period(g.off), g.flipFn)
+	}
 }
 
 func (g *GateBox) deliver(pkt *Packet) {

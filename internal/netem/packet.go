@@ -43,6 +43,38 @@ type Packet struct {
 	Sent sim.Time
 	// Payload is opaque transport data (e.g. a *tcpsim.Segment).
 	Payload any
+	// pooled marks packets allocated from a PacketPool; only those are
+	// recycled by Put. Hand-built packets (tests, benches) are ignored.
+	pooled bool
+}
+
+// PacketPool recycles Packets within one event loop. The simulation is
+// single-goroutine per loop, so the free list needs no synchronization.
+// Packets dropped inside a box (loss, queue overflow) are simply never
+// returned to the pool and fall to the garbage collector.
+type PacketPool struct {
+	free []*Packet
+}
+
+// Get returns a zeroed packet, reusing a recycled one when available.
+func (pp *PacketPool) Get() *Packet {
+	if n := len(pp.free); n > 0 {
+		pkt := pp.free[n-1]
+		pp.free[n-1] = nil
+		pp.free = pp.free[:n-1]
+		return pkt
+	}
+	return &Packet{pooled: true}
+}
+
+// Put recycles a pool-allocated packet. The caller must be done with the
+// packet: its fields are cleared in place.
+func (pp *PacketPool) Put(pkt *Packet) {
+	if pkt == nil || !pkt.pooled {
+		return
+	}
+	*pkt = Packet{pooled: true}
+	pp.free = append(pp.free, pkt)
 }
 
 // String formats a short description of the packet for debug output.

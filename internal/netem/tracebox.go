@@ -25,7 +25,8 @@ type TraceBox struct {
 	sink   Sink
 	stats  BoxStats
 	armed  bool
-	sentOf int // bytes of the head packet already delivered
+	sentOf int         // bytes of the head packet already delivered
+	fireFn sim.Handler // fire pre-bound once, so arming allocates nothing
 }
 
 // NewTraceBox returns a trace-driven box. queue bounds the backlog; pass nil
@@ -34,7 +35,9 @@ func NewTraceBox(loop *sim.Loop, opps OpportunitySource, queue *DropTail) *Trace
 	if queue == nil {
 		queue = NewDropTail(0, 0)
 	}
-	return &TraceBox{loop: loop, opps: opps, queue: queue}
+	t := &TraceBox{loop: loop, opps: opps, queue: queue}
+	t.fireFn = t.fire
+	return t
 }
 
 // Send implements Box.
@@ -64,7 +67,7 @@ func (t *TraceBox) arm() {
 	t.armed = true
 	now := t.loop.Now()
 	at := t.opps.Next(now)
-	t.loop.ScheduleAt(at, t.fire)
+	t.loop.ScheduleAt(at, t.fireFn)
 }
 
 // fire consumes one delivery opportunity: up to MTU bytes of the head

@@ -96,6 +96,9 @@ type Datagram struct {
 	Seq  int64
 	// Payload is transport data, opaque to the network layer.
 	Payload any
+	// pooled marks datagrams allocated via Network.NewDatagram; only those
+	// are recycled once consumed.
+	pooled bool
 }
 
 // DefaultTTL is applied to datagrams sent with a zero TTL.

@@ -12,17 +12,69 @@ import (
 type DatagramHandler func(dg *Datagram)
 
 // Network is a collection of namespaces sharing one virtual clock. It
-// exists only to hand out flow identifiers and hold the loop; it does not
-// provide any connectivity (connectivity is exclusively via Links).
+// hands out flow identifiers, holds the loop, and owns the per-loop packet
+// and datagram pools that make the forwarding path allocation-free; it does
+// not provide any connectivity (connectivity is exclusively via Links).
 type Network struct {
 	loop     *sim.Loop
 	nextFlow uint64
 	nsCount  int
+	// pools recycles the netem packets that wrap datagrams crossing links
+	// and the pooled datagrams themselves (see NewDatagram).
+	pools *PoolSet
 }
 
-// NewNetwork creates an empty network on the given event loop.
+// PoolSet holds a network's recycled packet and datagram free lists. Pool
+// reuse is single-goroutine (per loop), so the lists are unsynchronized.
+// A PoolSet outlives any one Network: a driver running many sequential
+// simulations (one fresh Network each, as the experiment engine does per
+// cell) can thread one PoolSet through all of them so the pools warm up
+// once instead of once per simulation. A PoolSet must never be shared by
+// two concurrently running networks.
+type PoolSet struct {
+	pkts   netem.PacketPool
+	dgFree []*Datagram
+}
+
+// NewNetwork creates an empty network on the given event loop, with its
+// own private pools.
 func NewNetwork(loop *sim.Loop) *Network {
-	return &Network{loop: loop}
+	return &Network{loop: loop, pools: &PoolSet{}}
+}
+
+// NewNetworkPooled creates an empty network that draws from (and returns
+// to) the given PoolSet; nil gets a private set.
+func NewNetworkPooled(loop *sim.Loop, pools *PoolSet) *Network {
+	if pools == nil {
+		pools = &PoolSet{}
+	}
+	return &Network{loop: loop, pools: pools}
+}
+
+// NewDatagram returns a zeroed datagram from the network's pool. Pooled
+// datagrams are recycled automatically once delivered to a socket or
+// dropped (TTL, no route, no socket); the receiving handler must therefore
+// not retain the datagram itself beyond its callback — only its Payload,
+// whose lifetime the transport manages. Datagrams built with a composite
+// literal are never recycled, so existing callers are unaffected.
+func (n *Network) NewDatagram() *Datagram {
+	free := n.pools.dgFree
+	if ln := len(free); ln > 0 {
+		dg := free[ln-1]
+		free[ln-1] = nil
+		n.pools.dgFree = free[:ln-1]
+		return dg
+	}
+	return &Datagram{pooled: true}
+}
+
+// freeDatagram recycles a pooled datagram; literals are ignored.
+func (n *Network) freeDatagram(dg *Datagram) {
+	if !dg.pooled {
+		return
+	}
+	*dg = Datagram{pooled: true}
+	n.pools.dgFree = append(n.pools.dgFree, dg)
 }
 
 // Loop returns the network's event loop.
@@ -59,6 +111,12 @@ type Namespace struct {
 	intercept func(dg *Datagram) bool
 	nextPort  uint16
 	stats     NamespaceStats
+	// recvArg and deliverArg are the namespace's receive/deliverLocal
+	// methods pre-bound as ArgHandlers, so the per-packet event-loop hops
+	// (link delivery, loopback sends) schedule without allocating a
+	// closure.
+	recvArg    sim.ArgHandler
+	deliverArg sim.ArgHandler
 }
 
 // NamespaceStats counts traffic seen by a namespace.
@@ -76,7 +134,7 @@ func (n *Network) NewNamespace(name string) *Namespace {
 	if name == "" {
 		name = fmt.Sprintf("ns%d", n.nsCount)
 	}
-	return &Namespace{
+	ns := &Namespace{
 		name:      name,
 		net:       n,
 		locals:    make(map[Addr]bool),
@@ -84,6 +142,9 @@ func (n *Network) NewNamespace(name string) *Namespace {
 		wildcards: make(map[uint16]DatagramHandler),
 		nextPort:  49152,
 	}
+	ns.recvArg = func(_ sim.Time, a any) { ns.receive(a.(*Datagram)) }
+	ns.deliverArg = func(_ sim.Time, a any) { ns.deliverLocal(a.(*Datagram)) }
+	return ns
 }
 
 // Name reports the namespace's label.
@@ -208,12 +269,13 @@ func (ns *Namespace) Send(dg *Datagram) error {
 		dg.TTL = DefaultTTL
 	}
 	if ns.locals[dg.Dst.Addr] {
-		ns.net.loop.Schedule(0, func(sim.Time) { ns.deliverLocal(dg) })
+		ns.net.loop.ScheduleArg(0, ns.deliverArg, dg)
 		return nil
 	}
 	via := ns.lookup(dg.Dst.Addr)
 	if via == nil {
 		ns.stats.NoRoute++
+		ns.net.freeDatagram(dg)
 		return fmt.Errorf("%w: %s from %s", ErrNoRoute, dg.Dst, ns.name)
 	}
 	via.transmit(dg)
@@ -224,7 +286,9 @@ func (ns *Namespace) Send(dg *Datagram) error {
 // hook for traffic transiting this namespace.
 func (ns *Namespace) SetIntercept(fn func(dg *Datagram) bool) { ns.intercept = fn }
 
-// receive handles a datagram arriving from a link.
+// receive handles a datagram arriving from a link. Every path consumes the
+// datagram: delivery and drops recycle pooled datagrams, forwarding passes
+// ownership to the next link.
 func (ns *Namespace) receive(dg *Datagram) {
 	if ns.locals[dg.Dst.Addr] {
 		ns.deliverLocal(dg)
@@ -232,17 +296,20 @@ func (ns *Namespace) receive(dg *Datagram) {
 	}
 	if ns.intercept != nil && ns.intercept(dg) {
 		ns.stats.DeliveredLocal++
+		ns.net.freeDatagram(dg)
 		return
 	}
 	// Forward.
 	dg.TTL--
 	if dg.TTL <= 0 {
 		ns.stats.TTLExceeded++
+		ns.net.freeDatagram(dg)
 		return
 	}
 	via := ns.lookup(dg.Dst.Addr)
 	if via == nil {
 		ns.stats.NoRoute++
+		ns.net.freeDatagram(dg)
 		return
 	}
 	ns.stats.Forwarded++
@@ -253,14 +320,14 @@ func (ns *Namespace) deliverLocal(dg *Datagram) {
 	if h, ok := ns.sockets[dg.Dst]; ok {
 		ns.stats.DeliveredLocal++
 		h(dg)
-		return
-	}
-	if h, ok := ns.wildcards[dg.Dst.Port]; ok {
+	} else if h, ok := ns.wildcards[dg.Dst.Port]; ok {
 		ns.stats.DeliveredLocal++
 		h(dg)
-		return
+	} else {
+		ns.stats.NoSocket++
 	}
-	ns.stats.NoSocket++
+	// The handler (if any) has returned; the datagram is consumed.
+	ns.net.freeDatagram(dg)
 }
 
 // LinkEnd is one side of a veth pair attached to a namespace.
@@ -276,14 +343,15 @@ func (le *LinkEnd) Namespace() *Namespace { return le.ns }
 // Pipeline returns the netem pipeline shaping this end's egress.
 func (le *LinkEnd) Pipeline() *netem.Pipeline { return le.pipe }
 
-// transmit pushes a datagram into this end's egress pipeline.
+// transmit pushes a datagram into this end's egress pipeline, wrapped in a
+// pooled packet that the far sink recycles on arrival.
 func (le *LinkEnd) transmit(dg *Datagram) {
-	le.pipe.Send(&netem.Packet{
-		Size:    dg.Size,
-		Flow:    dg.Flow,
-		Seq:     dg.Seq,
-		Payload: dg,
-	})
+	pkt := le.ns.net.pools.pkts.Get()
+	pkt.Size = dg.Size
+	pkt.Flow = dg.Flow
+	pkt.Seq = dg.Seq
+	pkt.Payload = dg
+	le.pipe.Send(pkt)
 }
 
 // Connect creates a veth pair between two namespaces. Traffic from a to b
@@ -314,13 +382,16 @@ func Connect(a, b *Namespace, ab, ba *netem.Pipeline) (*LinkEnd, *LinkEnd) {
 	// observe the next inbound packet before its own handler returns), at
 	// zero virtual-time cost; same-timestamp events preserve FIFO order.
 	loop := a.net.loop
+	net := a.net
 	ab.SetSink(func(p *netem.Packet) {
 		dg := p.Payload.(*Datagram)
-		loop.Schedule(0, func(sim.Time) { b.receive(dg) })
+		net.pools.pkts.Put(p)
+		loop.ScheduleArg(0, b.recvArg, dg)
 	})
 	ba.SetSink(func(p *netem.Packet) {
 		dg := p.Payload.(*Datagram)
-		loop.Schedule(0, func(sim.Time) { a.receive(dg) })
+		net.pools.pkts.Put(p)
+		loop.ScheduleArg(0, a.recvArg, dg)
 	})
 	a.links = append(a.links, ea)
 	b.links = append(b.links, eb)

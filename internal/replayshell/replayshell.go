@@ -46,6 +46,13 @@ type Config struct {
 	// single server also serializes this work — one of the mechanisms
 	// behind the paper's single-server distortion.
 	RequestCPU sim.Time
+	// Matcher optionally supplies a prebuilt request-matching index for
+	// Site, letting a driver that replays the same site many times build
+	// the index once. Nil builds a fresh index.
+	Matcher *match.Matcher
+	// Segments optionally supplies the TCP stack's segment pool (see
+	// tcpsim.NewStackPool). Nil gets a private pool.
+	Segments *tcpsim.SegmentPool
 }
 
 // Shell is a running ReplayShell: a namespace owning every origin address,
@@ -101,11 +108,15 @@ func New(network *nsim.Network, cfg Config) (*Shell, error) {
 		return nil, errors.New("replayshell: empty site")
 	}
 	ns := network.NewNamespace("replay-" + cfg.Site.Name)
+	matcher := cfg.Matcher
+	if matcher == nil {
+		matcher = match.New(cfg.Site)
+	}
 	sh := &Shell{
 		NS:       ns,
-		Stack:    tcpsim.NewStack(ns),
+		Stack:    tcpsim.NewStackPool(ns, cfg.Segments),
 		Resolver: dnssim.NewResolver(cfg.DNSLatency),
-		Matcher:  match.New(cfg.Site),
+		Matcher:  matcher,
 		cfg:      cfg,
 		servers:  make(map[nsim.Addr]*serverCPU),
 	}
@@ -180,7 +191,12 @@ func (sh *Shell) serve(conn *tcpsim.Conn) {
 				resp := sh.Matcher.LookupOr404(req)
 				sh.RequestsServed++
 				if conn.State() == tcpsim.StateEstablished {
-					conn.Write(normalize(resp).Marshal())
+					// The head is serialized fresh (it must stay stable
+					// while queued); the recorded body is sent by
+					// reference — the transport's segments alias the
+					// immutable archive bytes instead of copying them.
+					norm := normalize(resp)
+					conn.WriteStable(norm.AppendHead(nil), norm.Body)
 				}
 			})
 		}

@@ -10,10 +10,14 @@
 // Determinism guarantees: events fire in (time, priority, sequence) order,
 // where sequence is the order of scheduling. Two runs of the same workload
 // with the same seeds produce identical traces.
+//
+// The loop is allocation-free in steady state: events live in a slab of
+// value-typed slots recycled through a free list, and the priority queue is
+// an inlined indexed binary heap over slot indices, so scheduling costs no
+// heap allocation and firing order never depends on memory layout.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 	"time"
@@ -49,70 +53,142 @@ func FromDuration(d time.Duration) Time { return Time(d.Nanoseconds()) }
 // Handler is a callback fired when an event's time arrives.
 type Handler func(now Time)
 
-// Event is a scheduled callback. It is returned by the scheduling methods so
-// callers can cancel it (e.g. a TCP retransmission timer that is reset on
-// every ACK).
-type Event struct {
+// ArgHandler is a callback fired with an opaque argument supplied at
+// scheduling time. ScheduleArg plus a handler bound once at setup replaces
+// the per-event closure (which allocates) on hot paths like per-packet
+// delivery.
+type ArgHandler func(now Time, arg any)
+
+// eventSlot is the in-slab representation of a scheduled event. Slots are
+// value-typed, recycled through the loop's free list, and addressed by
+// index, so scheduling allocates nothing once the slab has grown to the
+// workload's high-water mark. gen increments on every recycle, which lets
+// outstanding Event/Timer handles detect that their slot has moved on.
+type eventSlot struct {
 	at       Time
-	priority int
 	seq      uint64
-	index    int // heap index; -1 when not queued
 	fn       Handler
+	afn      ArgHandler
+	arg      any
+	priority int32
+	gen      uint32
+	heapIdx  int32 // position in the heap; -1 when in the now-queue or free
+	canceled bool
+}
+
+// Event is a cancelable handle to a scheduled callback, returned by the
+// scheduling methods (e.g. so a test can cancel a pending event). It is a
+// value: copy it freely. The zero Event is inert.
+type Event struct {
+	loop     *Loop
+	slot     int32
+	gen      uint32
+	at       Time
 	canceled bool
 }
 
 // At reports the virtual time the event is scheduled for.
 func (e *Event) At() Time { return e.at }
 
-// Canceled reports whether Cancel has been called on the event.
+// Canceled reports whether Cancel has been called on this handle.
 func (e *Event) Canceled() bool { return e.canceled }
 
 // Cancel prevents the event from firing. Canceling an already-fired or
 // already-canceled event is a no-op.
-func (e *Event) Cancel() { e.canceled = true }
-
-// eventQueue is a min-heap ordered by (at, priority, seq).
-type eventQueue []*Event
-
-func (q eventQueue) Len() int { return len(q) }
-
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
+func (e *Event) Cancel() {
+	if e.canceled {
+		return
 	}
-	if q[i].priority != q[j].priority {
-		return q[i].priority < q[j].priority
+	e.canceled = true
+	if e.loop == nil {
+		return
 	}
-	return q[i].seq < q[j].seq
+	s := &e.loop.slots[e.slot]
+	if s.gen == e.gen {
+		s.canceled = true
+	}
 }
 
-func (q eventQueue) Swap(i, j int) {
-	q[i], q[j] = q[j], q[i]
-	q[i].index = i
-	q[j].index = j
+// Timer is a rearmable event bound to one handler. Unlike Schedule, whose
+// per-call handler is typically a freshly allocated closure, a Timer
+// captures its handler once at creation and then rearms allocation-free —
+// the pattern TCP retransmission timers need, where the timer is reset on
+// every ACK. The zero Timer is not usable; create one with Loop.NewTimer.
+type Timer struct {
+	loop  *Loop
+	fn    Handler
+	slot  int32
+	gen   uint32
+	armed bool
 }
 
-func (q *eventQueue) Push(x any) {
-	e := x.(*Event)
-	e.index = len(*q)
-	*q = append(*q, e)
+// NewTimer returns an unarmed timer that will run fn each time it fires.
+func (l *Loop) NewTimer(fn Handler) Timer {
+	if fn == nil {
+		panic("sim: NewTimer with nil handler")
+	}
+	return Timer{loop: l, fn: fn, slot: -1}
 }
 
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	e.index = -1
-	*q = old[:n-1]
-	return e
+// Reset (re)arms the timer to fire after delay, canceling any pending
+// firing. A negative delay is clamped to zero. Reset performs no heap
+// allocation: a still-pending firing is rescheduled in place — the slot
+// gets the new time and a fresh sequence number (so ordering matches a
+// cancel-plus-reschedule exactly) and sifts to its new heap position —
+// and otherwise the timer draws a recycled slot with its bound handler.
+func (t *Timer) Reset(delay Time) {
+	if delay < 0 {
+		delay = 0
+	}
+	l := t.loop
+	if t.armed {
+		s := &l.slots[t.slot]
+		if s.gen == t.gen && !s.canceled && s.heapIdx >= 0 {
+			s.at = l.now + delay
+			s.seq = l.nextSeq
+			l.nextSeq++
+			// Restore heap order from the slot's current position: one of
+			// the two sifts moves it, the other is a no-op.
+			l.siftDown(int(s.heapIdx))
+			l.siftUp(int(s.heapIdx))
+			return
+		}
+	}
+	t.Stop()
+	t.slot, t.gen = l.scheduleSlot(l.now+delay, 0, t.fn, nil, nil)
+	t.armed = true
+}
+
+// Stop cancels the pending firing, if any. Stopping an unarmed or
+// already-fired timer is a no-op.
+func (t *Timer) Stop() {
+	if !t.armed {
+		return
+	}
+	t.armed = false
+	s := &t.loop.slots[t.slot]
+	if s.gen == t.gen {
+		s.canceled = true
+	}
 }
 
 // Loop is the discrete-event loop. The zero value is not usable; create one
 // with NewLoop.
 type Loop struct {
-	now     Time
-	queue   eventQueue
+	now   Time
+	slots []eventSlot
+	heap  []int32 // indices into slots, ordered by (at, priority, seq)
+	free  []int32 // recycled slot indices
+	// nowq is the fast path for events scheduled at exactly the current
+	// time with default priority — the zero-delay deliveries that dominate
+	// packet-forwarding workloads. Entries are in seq order by
+	// construction (appended in scheduling order, and seq increases), so
+	// the queue is a FIFO ring consumed from nowHead; it is provably empty
+	// whenever the clock advances, because its entries sort before any
+	// later-timed heap event. Step merge-compares the ring head with the
+	// heap root, so firing order remains exactly (at, priority, seq).
+	nowq    []int32
+	nowHead int
 	nextSeq uint64
 	running bool
 	fired   uint64
@@ -128,7 +204,7 @@ func (l *Loop) Now() Time { return l.now }
 
 // Pending reports the number of events currently queued (including canceled
 // events that have not yet been discarded).
-func (l *Loop) Pending() int { return len(l.queue) }
+func (l *Loop) Pending() int { return len(l.heap) + len(l.nowq) - l.nowHead }
 
 // Fired reports the total number of events that have executed.
 func (l *Loop) Fired() uint64 { return l.fired }
@@ -136,7 +212,7 @@ func (l *Loop) Fired() uint64 { return l.fired }
 // Schedule queues fn to run after delay. A negative delay is treated as
 // zero: the event runs at the current time, after events already queued for
 // that time.
-func (l *Loop) Schedule(delay Time, fn Handler) *Event {
+func (l *Loop) Schedule(delay Time, fn Handler) Event {
 	if delay < 0 {
 		delay = 0
 	}
@@ -145,50 +221,235 @@ func (l *Loop) Schedule(delay Time, fn Handler) *Event {
 
 // ScheduleAt queues fn to run at the absolute virtual time at. Times in the
 // past are clamped to now.
-func (l *Loop) ScheduleAt(at Time, fn Handler) *Event {
-	return l.schedule(at, 0, fn)
+func (l *Loop) ScheduleAt(at Time, fn Handler) Event {
+	if fn == nil {
+		panic("sim: Schedule with nil handler")
+	}
+	return l.newEvent(at, 0, fn, nil, nil)
 }
 
 // SchedulePriority queues fn to run after delay with an explicit priority.
 // Among events at the same time, lower priorities fire first; equal
 // priorities fire in scheduling order.
-func (l *Loop) SchedulePriority(delay Time, priority int, fn Handler) *Event {
-	if delay < 0 {
-		delay = 0
-	}
-	return l.schedule(l.now+delay, priority, fn)
-}
-
-func (l *Loop) schedule(at Time, priority int, fn Handler) *Event {
+func (l *Loop) SchedulePriority(delay Time, priority int, fn Handler) Event {
 	if fn == nil {
 		panic("sim: Schedule with nil handler")
 	}
+	if delay < 0 {
+		delay = 0
+	}
+	return l.newEvent(l.now+delay, int32(priority), fn, nil, nil)
+}
+
+// ScheduleArg queues fn to run after delay, passing arg when it fires. It
+// is the allocation-free alternative to Schedule for hot paths: the handler
+// is bound once at setup and the per-event state travels in arg (interface
+// conversion of a pointer allocates nothing).
+func (l *Loop) ScheduleArg(delay Time, fn ArgHandler, arg any) Event {
+	if fn == nil {
+		panic("sim: Schedule with nil handler")
+	}
+	if delay < 0 {
+		delay = 0
+	}
+	return l.newEvent(l.now+delay, 0, nil, fn, arg)
+}
+
+func (l *Loop) newEvent(at Time, priority int32, fn Handler, afn ArgHandler, arg any) Event {
+	slot, gen := l.scheduleSlot(at, priority, fn, afn, arg)
+	return Event{loop: l, slot: slot, gen: gen, at: l.slots[slot].at}
+}
+
+// scheduleSlot places a callback in the slab and heap, returning its slot
+// index and generation. This is the single scheduling primitive every
+// public method funnels through; it performs no allocation once the slab
+// and heap have reached the workload's high-water mark.
+func (l *Loop) scheduleSlot(at Time, priority int32, fn Handler, afn ArgHandler, arg any) (int32, uint32) {
 	if at < l.now {
 		at = l.now
 	}
-	e := &Event{at: at, priority: priority, seq: l.nextSeq, fn: fn, index: -1}
+	var idx int32
+	if n := len(l.free); n > 0 {
+		idx = l.free[n-1]
+		l.free = l.free[:n-1]
+	} else {
+		l.slots = append(l.slots, eventSlot{})
+		idx = int32(len(l.slots) - 1)
+	}
+	s := &l.slots[idx]
+	s.at = at
+	s.priority = priority
+	s.seq = l.nextSeq
+	s.fn = fn
+	s.afn = afn
+	s.arg = arg
+	s.canceled = false
 	l.nextSeq++
-	heap.Push(&l.queue, e)
-	return e
+	if at == l.now && priority == 0 {
+		s.heapIdx = -1
+		l.nowq = append(l.nowq, idx)
+	} else {
+		s.heapIdx = int32(len(l.heap))
+		l.heap = append(l.heap, idx)
+		l.siftUp(len(l.heap) - 1)
+	}
+	return idx, s.gen
+}
+
+// less orders slots by (at, priority, seq) — the documented firing order.
+func (l *Loop) less(a, b int32) bool {
+	sa, sb := &l.slots[a], &l.slots[b]
+	if sa.at != sb.at {
+		return sa.at < sb.at
+	}
+	if sa.priority != sb.priority {
+		return sa.priority < sb.priority
+	}
+	return sa.seq < sb.seq
+}
+
+func (l *Loop) siftUp(i int) {
+	h := l.heap
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !l.less(h[i], h[parent]) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		l.slots[h[i]].heapIdx = int32(i)
+		i = parent
+	}
+	l.slots[h[i]].heapIdx = int32(i)
+}
+
+func (l *Loop) siftDown(i int) {
+	h := l.heap
+	n := len(h)
+	for {
+		left := 2*i + 1
+		if left >= n {
+			break
+		}
+		child := left
+		if right := left + 1; right < n && l.less(h[right], h[left]) {
+			child = right
+		}
+		if !l.less(h[child], h[i]) {
+			break
+		}
+		h[i], h[child] = h[child], h[i]
+		l.slots[h[i]].heapIdx = int32(i)
+		i = child
+	}
+	l.slots[h[i]].heapIdx = int32(i)
+}
+
+// popRoot removes and returns the heap's minimum slot index.
+func (l *Loop) popRoot() int32 {
+	root := l.heap[0]
+	l.slots[root].heapIdx = -1
+	n := len(l.heap) - 1
+	l.heap[0] = l.heap[n]
+	l.heap = l.heap[:n]
+	if n > 0 {
+		l.slots[l.heap[0]].heapIdx = 0
+		if n > 1 {
+			l.siftDown(0)
+		}
+	}
+	return root
+}
+
+// popNow consumes the now-queue's head.
+func (l *Loop) popNow() int32 {
+	idx := l.nowq[l.nowHead]
+	l.nowHead++
+	if l.nowHead == len(l.nowq) {
+		l.nowq = l.nowq[:0]
+		l.nowHead = 0
+	}
+	return idx
+}
+
+// peekNext returns the slot index of the globally earliest event without
+// removing it; ok is false when no events remain.
+func (l *Loop) peekNext() (int32, bool) {
+	hasNow := l.nowHead < len(l.nowq)
+	hasHeap := len(l.heap) > 0
+	switch {
+	case !hasNow && !hasHeap:
+		return 0, false
+	case hasNow && !hasHeap:
+		return l.nowq[l.nowHead], true
+	case hasHeap && !hasNow:
+		return l.heap[0], true
+	}
+	if l.less(l.heap[0], l.nowq[l.nowHead]) {
+		return l.heap[0], true
+	}
+	return l.nowq[l.nowHead], true
+}
+
+// popNext removes and returns the globally earliest event's slot index.
+func (l *Loop) popNext() (int32, bool) {
+	hasNow := l.nowHead < len(l.nowq)
+	hasHeap := len(l.heap) > 0
+	switch {
+	case !hasNow && !hasHeap:
+		return 0, false
+	case hasNow && !hasHeap:
+		return l.popNow(), true
+	case hasHeap && !hasNow:
+		return l.popRoot(), true
+	}
+	if l.less(l.heap[0], l.nowq[l.nowHead]) {
+		return l.popRoot(), true
+	}
+	return l.popNow(), true
+}
+
+// freeSlot recycles a slot: handler references are dropped so the GC can
+// reclaim them, and the generation advances so stale handles become inert.
+func (l *Loop) freeSlot(idx int32) {
+	s := &l.slots[idx]
+	s.fn = nil
+	s.afn = nil
+	s.arg = nil
+	s.canceled = false
+	s.heapIdx = -1
+	s.gen++
+	l.free = append(l.free, idx)
 }
 
 // Step fires the single earliest pending non-canceled event, advancing the
 // clock to its timestamp. It reports false when no events remain.
 func (l *Loop) Step() bool {
-	for len(l.queue) > 0 {
-		e := heap.Pop(&l.queue).(*Event)
-		if e.canceled {
+	for {
+		idx, ok := l.popNext()
+		if !ok {
+			return false
+		}
+		s := &l.slots[idx]
+		if s.canceled {
+			l.freeSlot(idx)
 			continue
 		}
-		if e.at < l.now {
-			panic(fmt.Sprintf("sim: event scheduled at %v fired at %v (clock went backwards)", e.at, l.now))
+		if s.at < l.now {
+			panic(fmt.Sprintf("sim: event scheduled at %v fired at %v (clock went backwards)", s.at, l.now))
 		}
-		l.now = e.at
+		l.now = s.at
 		l.fired++
-		e.fn(l.now)
+		// Copy the callback out and recycle the slot before invoking, so
+		// handlers that schedule new events can reuse it immediately.
+		fn, afn, arg := s.fn, s.afn, s.arg
+		l.freeSlot(idx)
+		if afn != nil {
+			afn(l.now, arg)
+		} else {
+			fn(l.now)
+		}
 		return true
 	}
-	return false
 }
 
 // Run fires events until the queue is empty, then returns the final virtual
@@ -212,13 +473,18 @@ func (l *Loop) RunUntil(deadline Time) {
 	}
 	l.running = true
 	defer func() { l.running = false }()
-	for len(l.queue) > 0 {
-		e := l.queue[0]
-		if e.canceled {
-			heap.Pop(&l.queue)
+	for {
+		idx, ok := l.peekNext()
+		if !ok {
+			break
+		}
+		s := &l.slots[idx]
+		if s.canceled {
+			l.popNext()
+			l.freeSlot(idx)
 			continue
 		}
-		if e.at > deadline {
+		if s.at > deadline {
 			break
 		}
 		l.Step()
@@ -234,6 +500,11 @@ func (l *Loop) RunFor(d Time) { l.RunUntil(l.now + d) }
 // RunWhile fires events until cond returns false or the queue drains. cond
 // is evaluated before each event.
 func (l *Loop) RunWhile(cond func() bool) {
+	if l.running {
+		panic("sim: RunWhile called reentrantly")
+	}
+	l.running = true
+	defer func() { l.running = false }()
 	for cond() && l.Step() {
 	}
 }

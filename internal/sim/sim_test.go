@@ -110,7 +110,7 @@ func TestCancel(t *testing.T) {
 
 func TestCancelDuringRun(t *testing.T) {
 	l := NewLoop()
-	var e2 *Event
+	var e2 Event
 	fired := false
 	l.Schedule(Millisecond, func(Time) { e2.Cancel() })
 	e2 = l.Schedule(2*Millisecond, func(Time) { fired = true })
@@ -398,6 +398,141 @@ func TestEventAt(t *testing.T) {
 		t.Fatalf("At = %v, want 7ms", e.At())
 	}
 	l.Run()
+}
+
+func TestScheduleArg(t *testing.T) {
+	l := NewLoop()
+	type box struct{ v int }
+	var got []int
+	h := func(_ Time, a any) { got = append(got, a.(*box).v) }
+	l.ScheduleArg(2*Millisecond, h, &box{v: 2})
+	l.ScheduleArg(Millisecond, h, &box{v: 1})
+	l.Run()
+	if len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("got = %v, want [1 2]", got)
+	}
+}
+
+func TestScheduleArgOrderedWithSchedule(t *testing.T) {
+	// Arg events and closure events at the same timestamp interleave in
+	// scheduling order.
+	l := NewLoop()
+	var order []int
+	h := func(_ Time, a any) { order = append(order, a.(int)) }
+	l.Schedule(Millisecond, func(Time) { order = append(order, 0) })
+	l.ScheduleArg(Millisecond, h, 1)
+	l.Schedule(Millisecond, func(Time) { order = append(order, 2) })
+	l.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("order = %v, want [0 1 2]", order)
+		}
+	}
+}
+
+func TestTimerResetAndStop(t *testing.T) {
+	l := NewLoop()
+	fired := 0
+	tm := l.NewTimer(func(Time) { fired++ })
+	tm.Reset(10 * Millisecond)
+	tm.Reset(20 * Millisecond) // supersedes the first arming
+	l.Run()
+	if fired != 1 {
+		t.Fatalf("fired = %d, want 1 (Reset must cancel the pending firing)", fired)
+	}
+	if l.Now() != 20*Millisecond {
+		t.Fatalf("Now = %v, want 20ms", l.Now())
+	}
+	tm.Reset(5 * Millisecond)
+	tm.Stop()
+	l.Run()
+	if fired != 1 {
+		t.Fatalf("stopped timer fired (count %d)", fired)
+	}
+	tm.Stop() // idempotent on an unarmed timer
+}
+
+func TestTimerRearmFromHandler(t *testing.T) {
+	l := NewLoop()
+	count := 0
+	var tm Timer
+	tm = l.NewTimer(func(Time) {
+		count++
+		if count < 5 {
+			tm.Reset(Millisecond)
+		}
+	})
+	tm.Reset(Millisecond)
+	end := l.Run()
+	if count != 5 {
+		t.Fatalf("count = %d, want 5", count)
+	}
+	if end != 5*Millisecond {
+		t.Fatalf("end = %v, want 5ms", end)
+	}
+}
+
+func TestTimerZeroAllocReset(t *testing.T) {
+	l := NewLoop()
+	tm := l.NewTimer(func(Time) {})
+	tm.Reset(Millisecond)
+	l.Run()
+	allocs := testing.AllocsPerRun(100, func() {
+		tm.Reset(Millisecond)
+		tm.Stop()
+	})
+	if allocs != 0 {
+		t.Fatalf("Timer Reset/Stop allocates %v per run, want 0", allocs)
+	}
+}
+
+func TestScheduleSteadyStateZeroAlloc(t *testing.T) {
+	l := NewLoop()
+	h := func(Time, any) {}
+	// Warm the slab, then verify schedule+fire recycles slots without
+	// allocating.
+	for i := 0; i < 64; i++ {
+		l.ScheduleArg(Millisecond, h, nil)
+	}
+	l.Run()
+	allocs := testing.AllocsPerRun(100, func() {
+		for i := 0; i < 64; i++ {
+			l.ScheduleArg(Millisecond, h, nil)
+		}
+		for l.Step() {
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state schedule allocates %v per run, want 0", allocs)
+	}
+}
+
+func TestCancelAfterFireIsInert(t *testing.T) {
+	// A handle whose slot has been recycled must not cancel the slot's new
+	// occupant.
+	l := NewLoop()
+	e := l.Schedule(Millisecond, func(Time) {})
+	l.Run()
+	fired := false
+	l.Schedule(Millisecond, func(Time) { fired = true }) // likely reuses e's slot
+	e.Cancel()
+	l.Run()
+	if !fired {
+		t.Fatal("stale Cancel killed an unrelated event")
+	}
+}
+
+func TestRunWhileReentrancyGuard(t *testing.T) {
+	l := NewLoop()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("reentrant RunWhile did not panic")
+		}
+	}()
+	l.Schedule(Millisecond, func(Time) {
+		l.RunWhile(func() bool { return true })
+	})
+	l.RunWhile(func() bool { return true })
 }
 
 func TestManyEventsStress(t *testing.T) {

@@ -85,9 +85,19 @@ type Conn struct {
 	state  State
 
 	// Sender state.
-	sndUna   uint64 // oldest unacknowledged sequence number
-	sndNxt   uint64 // next sequence number to use
-	sendBuf  []byte // app data not yet segmented
+	sndUna uint64 // oldest unacknowledged sequence number
+	sndNxt uint64 // next sequence number to use
+	// The send queue is a FIFO of immutable byte chunks rather than one
+	// flat buffer, so stable application data (WriteStable) queues without
+	// being copied. sendHead indexes the first live chunk, sendOff the
+	// consumed prefix of that chunk, and sendLen the total unsegmented
+	// bytes. Segmentation (pump) is unaffected by chunk boundaries: a
+	// segment normally aliases a chunk slice and only a segment spanning a
+	// boundary gathers bytes into its own array.
+	sendq    [][]byte
+	sendHead int
+	sendOff  int
+	sendLen  int
 	rtxq     []sentSeg
 	cwnd     int
 	ssthresh int
@@ -121,10 +131,12 @@ type Conn struct {
 	peerFin    bool
 	peerFinSeq uint64
 
-	// RTO state.
+	// RTO state. rtoTimer is bound once to onRTO and rearmed in place, so
+	// the per-ACK timer reset (the hottest timer path in the simulator)
+	// allocates nothing.
 	srtt, rttvar sim.Time
 	rto          sim.Time
-	rtoTimer     *sim.Event
+	rtoTimer     sim.Timer
 
 	stats Stats
 
@@ -141,7 +153,7 @@ func newConn(s *Stack, local, remote nsim.AddrPort, server bool) *Conn {
 	if server {
 		st = StateSynRcvd
 	}
-	return &Conn{
+	c := &Conn{
 		cc:       s.cc,
 		stack:    s,
 		local:    local,
@@ -154,6 +166,8 @@ func newConn(s *Stack, local, remote nsim.AddrPort, server bool) *Conn {
 		ooo:      make(map[uint64]*Segment),
 		rto:      initialRTO,
 	}
+	c.rtoTimer = s.loop.NewTimer(c.onRTO)
+	return c
 }
 
 // LocalAddr returns the connection's local endpoint.
@@ -201,15 +215,80 @@ func (c *Conn) OnClose(fn func(error)) {
 	c.onClose = fn
 }
 
-// Write queues application data for transmission. Data written before the
-// handshake completes is buffered.
+// Write queues application data for transmission, copying p (the caller
+// may reuse it). Data written before the handshake completes is buffered.
 func (c *Conn) Write(p []byte) error {
 	if c.appClosed || c.state == StateClosed {
 		return errors.New("tcpsim: write on closed connection")
 	}
-	c.sendBuf = append(c.sendBuf, p...)
+	c.enqueueData(append([]byte(nil), p...))
+	return nil
+}
+
+// WriteStable queues application data for transmission without copying.
+// The caller must guarantee each chunk is immutable for as long as any
+// segment referencing it may be retransmitted — e.g. a recorded response
+// body served from an archive. Segments alias the chunks directly, which
+// removes the dominant per-byte copy from the replay server's send path.
+// All chunks are queued before transmission starts, so the wire traffic is
+// identical to a single Write of their concatenation.
+func (c *Conn) WriteStable(chunks ...[]byte) error {
+	if c.appClosed || c.state == StateClosed {
+		return errors.New("tcpsim: write on closed connection")
+	}
+	for _, p := range chunks {
+		if len(p) > 0 {
+			c.sendq = append(c.sendq, p)
+			c.sendLen += len(p)
+		}
+	}
 	c.pump()
 	return nil
+}
+
+func (c *Conn) enqueueData(chunk []byte) {
+	if len(chunk) > 0 {
+		c.sendq = append(c.sendq, chunk)
+		c.sendLen += len(chunk)
+	}
+	c.pump()
+}
+
+// nextSegment slices (or, across a chunk boundary, gathers) the next n
+// bytes of the send queue into seg.Data.
+func (c *Conn) nextSegment(seg *Segment, n int) {
+	head := c.sendq[c.sendHead][c.sendOff:]
+	if len(head) >= n {
+		seg.Data = head[:n:n]
+		c.advanceSendq(n)
+		return
+	}
+	data := make([]byte, 0, n)
+	for len(data) < n {
+		head = c.sendq[c.sendHead][c.sendOff:]
+		take := n - len(data)
+		if take > len(head) {
+			take = len(head)
+		}
+		data = append(data, head[:take]...)
+		c.advanceSendq(take)
+	}
+	seg.Data = data
+}
+
+// advanceSendq consumes n bytes of the head chunk, popping it when done.
+func (c *Conn) advanceSendq(n int) {
+	c.sendOff += n
+	c.sendLen -= n
+	if c.sendOff == len(c.sendq[c.sendHead]) {
+		c.sendq[c.sendHead] = nil
+		c.sendHead++
+		c.sendOff = 0
+		if c.sendHead == len(c.sendq) {
+			c.sendq = c.sendq[:0]
+			c.sendHead = 0
+		}
+	}
 }
 
 // Close initiates a graceful close: buffered data is sent, followed by a
@@ -227,13 +306,19 @@ func (c *Conn) Abort() {
 	if c.state == StateClosed {
 		return
 	}
-	c.transmit(&Segment{Flags: FlagRST, Seq: c.sndNxt, Ack: c.rcvNxt})
+	rst := c.stack.newSegment()
+	rst.Flags = FlagRST
+	rst.Seq = c.sndNxt
+	rst.Ack = c.rcvNxt
+	c.transmit(rst)
+	c.stack.release(rst) // untracked: drop the creator's reference
 	c.teardown(errors.New("tcpsim: connection aborted"))
 }
 
 // sendSYN starts the client handshake.
 func (c *Conn) sendSYN() {
-	syn := &Segment{Flags: FlagSYN, Seq: 0}
+	syn := c.stack.newSegment()
+	syn.Flags = FlagSYN
 	c.sndNxt = 1
 	c.track(syn)
 	c.transmit(syn)
@@ -256,22 +341,26 @@ func (c *Conn) pump() {
 			break
 		}
 	}
-	for len(c.sendBuf) > 0 && c.pipe()+MSS <= c.cwnd {
-		n := len(c.sendBuf)
+	for c.sendLen > 0 && c.pipe()+MSS <= c.cwnd {
+		n := c.sendLen
 		if n > MSS {
 			n = MSS
 		}
-		data := make([]byte, n)
-		copy(data, c.sendBuf)
-		c.sendBuf = c.sendBuf[n:]
-		seg := &Segment{Flags: FlagACK, Seq: c.sndNxt, Ack: c.rcvNxt, Data: data}
+		seg := c.stack.newSegment()
+		seg.Flags = FlagACK
+		seg.Seq = c.sndNxt
+		seg.Ack = c.rcvNxt
+		c.nextSegment(seg, n)
 		c.sndNxt += uint64(n)
 		c.track(seg)
 		c.transmit(seg)
 		c.stats.BytesSent += uint64(n)
 	}
-	if c.appClosed && len(c.sendBuf) == 0 && !c.finSent {
-		fin := &Segment{Flags: FlagFIN | FlagACK, Seq: c.sndNxt, Ack: c.rcvNxt}
+	if c.appClosed && c.sendLen == 0 && !c.finSent {
+		fin := c.stack.newSegment()
+		fin.Flags = FlagFIN | FlagACK
+		fin.Seq = c.sndNxt
+		fin.Ack = c.rcvNxt
 		c.sndNxt++
 		c.finSent = true
 		if c.state == StateEstablished {
@@ -292,13 +381,18 @@ func (c *Conn) track(seg *Segment) {
 	c.pipeBytes += int(seg.SeqLen())
 }
 
-// transmit sends a segment, counting it.
+// transmit sends a segment, counting it. Each wire copy entering the
+// network takes a segment reference, released by the receiving stack once
+// the copy has been handled (copies dropped inside the network keep their
+// reference forever, which simply exempts that segment from recycling).
 func (c *Conn) transmit(seg *Segment) {
 	c.stats.SegmentsSent++
+	c.stack.retain(seg)
 	// Route errors (no route mid-simulation) surface as a teardown rather
 	// than a panic: the shell topology is static, so this indicates the
 	// experiment destroyed the namespace early.
 	if err := c.stack.send(c, seg); err != nil {
+		c.stack.release(seg) // the wire copy never entered the network
 		c.teardown(err)
 	}
 }
@@ -330,7 +424,9 @@ func (c *Conn) handleSegment(seg *Segment) {
 			// (Possibly retransmitted) client SYN: reply SYN-ACK.
 			if c.sndNxt == 0 {
 				c.rcvNxt = seg.Seq + 1
-				synAck := &Segment{Flags: FlagSYN | FlagACK, Seq: 0, Ack: c.rcvNxt}
+				synAck := c.stack.newSegment()
+				synAck.Flags = FlagSYN | FlagACK
+				synAck.Ack = c.rcvNxt
 				c.sndNxt = 1
 				c.track(synAck)
 				c.transmit(synAck)
@@ -482,9 +578,8 @@ func (c *Conn) processAck(ack uint64, pureAck bool) {
 		}
 		if c.inflight() > 0 {
 			c.armRTO()
-		} else if c.rtoTimer != nil {
-			c.rtoTimer.Cancel()
-			c.rtoTimer = nil
+		} else {
+			c.rtoTimer.Stop()
 		}
 		c.maybeFinish()
 		return
@@ -561,6 +656,7 @@ func (c *Conn) reapAcked(ack uint64) {
 			if ss.inFlight && !ss.sacked {
 				c.pipeBytes -= int(ss.seg.SeqLen())
 			}
+			c.stack.release(ss.seg) // drop the retransmission queue's reference
 			continue
 		}
 		keep = append(keep, ss)
@@ -606,15 +702,11 @@ func (c *Conn) sampleRTT(r sim.Time) {
 
 // armRTO (re)starts the retransmission timer.
 func (c *Conn) armRTO() {
-	if c.rtoTimer != nil {
-		c.rtoTimer.Cancel()
-	}
-	c.rtoTimer = c.stack.loop.Schedule(c.rto, c.onRTO)
+	c.rtoTimer.Reset(c.rto)
 }
 
 // onRTO handles a retransmission timeout.
 func (c *Conn) onRTO(sim.Time) {
-	c.rtoTimer = nil
 	if c.state == StateClosed || c.inflight() == 0 {
 		return
 	}
@@ -649,8 +741,9 @@ func (c *Conn) processData(seg *Segment) {
 		return
 	}
 	if seg.Seq > c.rcvNxt {
-		// Out of order: buffer and send duplicate ACK.
+		// Out of order: buffer (taking a reference) and send duplicate ACK.
 		if _, ok := c.ooo[seg.Seq]; !ok {
+			c.stack.retain(seg)
 			c.ooo[seg.Seq] = seg
 			c.noteOOO(SackRange{Start: seg.Seq, End: seg.Seq + seg.SeqLen()})
 		}
@@ -667,12 +760,14 @@ func (c *Conn) processData(seg *Segment) {
 			for s, sg := range c.ooo {
 				if s+sg.SeqLen() <= c.rcvNxt {
 					delete(c.ooo, s) // stale duplicate
+					c.stack.release(sg)
 				}
 			}
 			break
 		}
 		delete(c.ooo, c.rcvNxt)
 		c.absorb(next)
+		c.stack.release(next)
 	}
 	c.sendAck()
 	c.maybeFinish()
@@ -705,12 +800,20 @@ func (c *Conn) absorb(seg *Segment) {
 }
 
 // sendAck emits a pure ACK carrying SACK ranges for any out-of-order data
-// held in the reassembly buffer.
+// held in the reassembly buffer. Pure ACKs are never tracked or buffered,
+// so the creator's reference is dropped immediately after transmission and
+// the single wire reference governs the segment's lifetime.
 func (c *Conn) sendAck() {
 	if c.state == StateClosed {
 		return
 	}
-	c.transmit(&Segment{Flags: FlagACK, Seq: c.sndNxt, Ack: c.rcvNxt, Sack: c.sackRanges()})
+	ack := c.stack.newSegment()
+	ack.Flags = FlagACK
+	ack.Seq = c.sndNxt
+	ack.Ack = c.rcvNxt
+	ack.Sack = c.appendSackRanges(ack.Sack)
+	c.transmit(ack)
+	c.stack.release(ack)
 }
 
 // noteOOO merges a newly buffered out-of-order range into the sorted,
@@ -751,10 +854,11 @@ func (c *Conn) noteOOO(r SackRange) {
 	}
 }
 
-// sackRanges reports the receiver's out-of-order ranges (up to a small
-// cap, like real TCP's SACK option), dropping ranges already covered by
-// the cumulative ack.
-func (c *Conn) sackRanges() []SackRange {
+// appendSackRanges appends the receiver's out-of-order ranges (up to a
+// small cap, like real TCP's SACK option) to dst, dropping ranges already
+// covered by the cumulative ack. Appending into the outgoing segment's
+// recycled Sack array keeps ACK generation allocation-free.
+func (c *Conn) appendSackRanges(dst []SackRange) []SackRange {
 	// Drop fully delivered ranges from the front.
 	k := 0
 	for k < len(c.sackList) && c.sackList[k].End <= c.rcvNxt {
@@ -763,16 +867,11 @@ func (c *Conn) sackRanges() []SackRange {
 	if k > 0 {
 		c.sackList = c.sackList[k:]
 	}
-	if len(c.sackList) == 0 {
-		return nil
-	}
 	n := len(c.sackList)
 	if n > 8 {
 		n = 8
 	}
-	out := make([]SackRange, n)
-	copy(out, c.sackList[:n])
-	return out
+	return append(dst, c.sackList[:n]...)
 }
 
 // maybeFinish closes the connection once both directions are done: our FIN
@@ -787,17 +886,23 @@ func (c *Conn) maybeFinish() {
 	}
 }
 
-// teardown finalizes the connection.
+// teardown finalizes the connection, returning its segment references to
+// the pool.
 func (c *Conn) teardown(err error) {
 	if c.state == StateClosed {
 		return
 	}
 	c.state = StateClosed
 	c.closedErr = err
-	if c.rtoTimer != nil {
-		c.rtoTimer.Cancel()
-		c.rtoTimer = nil
+	c.rtoTimer.Stop()
+	for i := range c.rtxq {
+		c.stack.release(c.rtxq[i].seg)
 	}
+	c.rtxq = nil
+	for _, sg := range c.ooo {
+		c.stack.release(sg)
+	}
+	clear(c.ooo)
 	c.stack.drop(c)
 	if c.onClose != nil && !c.closeNotified {
 		c.closeNotified = true

@@ -91,6 +91,15 @@ type Segment struct {
 	// uses it to fill all holes in parallel rather than one per RTT, like
 	// the Linux stacks Mahimahi's measurements ran over.
 	Sack []SackRange
+
+	// Pool bookkeeping (see Stack.newSegment). Segments travel by pointer
+	// through the simulated network, so one object can simultaneously be
+	// held by the sender's retransmission queue, one or more in-flight wire
+	// copies, and the receiver's reassembly buffer; refs counts those
+	// holders and the segment is recycled only when it reaches zero. pooled
+	// is false for hand-built segments (tests), which are never recycled.
+	refs   int32
+	pooled bool
 }
 
 // SeqLen is the amount of sequence space the segment occupies: its payload

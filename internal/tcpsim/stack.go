@@ -23,6 +23,62 @@ type Stack struct {
 	conns     map[fourTuple]*Conn
 	listeners map[nsim.AddrPort]func(*Conn)
 	boundPort map[uint16]bool // listener ports already bound on the namespace
+	// segs recycles Segments. The whole simulation is single-goroutine per
+	// loop, so the free list needs no synchronization; a pool shared
+	// between the simulation's stacks (NewStackPool) lets a segment
+	// allocated by one endpoint be reused by the other.
+	segs *SegmentPool
+}
+
+// SegmentPool is a free list of recycled Segments. Like nsim.PoolSet it
+// may be threaded through many sequential simulations (it must never be
+// shared across concurrently running loops), so warmup is paid once per
+// worker rather than once per simulation.
+type SegmentPool struct {
+	free []*Segment
+}
+
+// newSegment returns a zeroed segment with one reference (the creator's).
+// Data and Sack retain their recycled capacity.
+func (s *Stack) newSegment() *Segment {
+	pool := s.segs
+	if n := len(pool.free); n > 0 {
+		seg := pool.free[n-1]
+		pool.free[n-1] = nil
+		pool.free = pool.free[:n-1]
+		seg.refs = 1
+		return seg
+	}
+	return &Segment{refs: 1, pooled: true}
+}
+
+// retain adds a reference to a pooled segment (e.g. a wire copy entering
+// the network, or the receiver buffering it out of order).
+func (s *Stack) retain(seg *Segment) {
+	if seg.pooled {
+		seg.refs++
+	}
+}
+
+// release drops one reference; the last release recycles the segment.
+// Callers must be done reading the segment before releasing: recycling
+// truncates Data/Sack in place and a later newSegment reuses their backing
+// arrays. Hand-built (non-pooled) segments are ignored.
+func (s *Stack) release(seg *Segment) {
+	if !seg.pooled {
+		return
+	}
+	if seg.refs--; seg.refs > 0 {
+		return
+	}
+	seg.Flags = 0
+	seg.Seq = 0
+	seg.Ack = 0
+	// Data aliases the sending connection's buffer (see Conn.pump), whose
+	// other segments may still be in flight: drop it rather than reuse it.
+	seg.Data = nil
+	seg.Sack = seg.Sack[:0]
+	s.segs.free = append(s.segs.free, seg)
 }
 
 // SetCongestion selects the congestion-control algorithm for connections
@@ -32,14 +88,25 @@ func (s *Stack) SetCongestion(cc CongestionAlgorithm) { s.cc = cc }
 // Congestion reports the stack's configured algorithm.
 func (s *Stack) Congestion() CongestionAlgorithm { return s.cc }
 
-// NewStack creates a TCP engine for the namespace.
+// NewStack creates a TCP engine for the namespace with a private segment
+// pool.
 func NewStack(ns *nsim.Namespace) *Stack {
+	return NewStackPool(ns, nil)
+}
+
+// NewStackPool creates a TCP engine drawing segments from the given pool;
+// nil gets a private pool. Stacks on the same loop can share one pool.
+func NewStackPool(ns *nsim.Namespace, segs *SegmentPool) *Stack {
+	if segs == nil {
+		segs = &SegmentPool{}
+	}
 	return &Stack{
 		ns:        ns,
 		loop:      ns.Network().Loop(),
 		conns:     make(map[fourTuple]*Conn),
 		listeners: make(map[nsim.AddrPort]func(*Conn)),
 		boundPort: make(map[uint16]bool),
+		segs:      segs,
 	}
 }
 
@@ -79,13 +146,14 @@ func (s *Stack) Dial(laddr nsim.Addr, raddr nsim.AddrPort) (*Conn, error) {
 	var c *Conn
 	lap, err := s.ns.BindEphemeral(laddr, func(dg *nsim.Datagram) {
 		// The ephemeral port receives only this connection's segments.
+		seg, ok := dg.Payload.(*Segment)
+		if !ok {
+			return
+		}
 		if c != nil {
-			seg, ok := dg.Payload.(*Segment)
-			if !ok {
-				return
-			}
 			c.handleSegment(seg)
 		}
+		s.release(seg) // the wire copy's reference
 	})
 	if err != nil {
 		return nil, err
@@ -102,7 +170,9 @@ func (s *Stack) Dial(laddr nsim.Addr, raddr nsim.AddrPort) (*Conn, error) {
 // to arbitrary origin addresses.
 func (s *Stack) DeliverIntercepted(dg *nsim.Datagram) { s.receive(dg) }
 
-// receive demuxes an inbound datagram on a listening port.
+// receive demuxes an inbound datagram on a listening port. Every exit path
+// releases the wire copy's segment reference: a segment the connection
+// needs to keep (out-of-order reassembly) takes its own reference.
 func (s *Stack) receive(dg *nsim.Datagram) {
 	seg, ok := dg.Payload.(*Segment)
 	if !ok {
@@ -111,20 +181,24 @@ func (s *Stack) receive(dg *nsim.Datagram) {
 	key := fourTuple{local: dg.Dst, remote: dg.Src}
 	if c, ok := s.conns[key]; ok {
 		c.handleSegment(seg)
+		s.release(seg)
 		return
 	}
 	// New connection? Must be a SYN to a listener.
 	if seg.Flags&FlagSYN == 0 || seg.Flags&FlagACK != 0 {
+		s.release(seg)
 		return // stray segment for a dead connection; drop
 	}
 	accept := s.lookupListener(dg.Dst)
 	if accept == nil {
+		s.release(seg)
 		return // port bound but no listener for this address: drop (RST-less)
 	}
 	c := newConn(s, dg.Dst, dg.Src, true)
 	c.acceptFn = accept
 	s.conns[key] = c
 	c.handleSegment(seg)
+	s.release(seg)
 }
 
 func (s *Stack) lookupListener(ap nsim.AddrPort) func(*Conn) {
@@ -146,16 +220,17 @@ func (s *Stack) drop(c *Conn) {
 	}
 }
 
-// send transmits a segment for the connection.
+// send transmits a segment for the connection. The datagram comes from the
+// network's pool; nsim recycles it once it is delivered or dropped.
 func (s *Stack) send(c *Conn, seg *Segment) error {
-	return s.ns.Send(&nsim.Datagram{
-		Src:     c.local,
-		Dst:     c.remote,
-		Size:    seg.WireSize(),
-		Flow:    c.flow,
-		Seq:     int64(seg.Seq),
-		Payload: seg,
-	})
+	dg := s.ns.Network().NewDatagram()
+	dg.Src = c.local
+	dg.Dst = c.remote
+	dg.Size = seg.WireSize()
+	dg.Flow = c.flow
+	dg.Seq = int64(seg.Seq)
+	dg.Payload = seg
+	return s.ns.Send(dg)
 }
 
 // Conns reports the number of live connections.

@@ -96,6 +96,70 @@ func TestWriteBeforeEstablishedIsBuffered(t *testing.T) {
 	}
 }
 
+func TestWriteStableChunksIntegrity(t *testing.T) {
+	// Many small stable chunks force segments to span chunk boundaries
+	// (the gather path of nextSegment) and to alias chunks directly (the
+	// zero-copy path). The received stream must be the exact
+	// concatenation either way.
+	loop, cs, ss := testNet(t, 25*sim.Millisecond, 0, 0)
+	var want []byte
+	chunks := make([][]byte, 0, 120)
+	for i := 0; i < 120; i++ {
+		chunk := make([]byte, 37+i*13%2000)
+		for j := range chunk {
+			chunk[j] = byte(i + j*7)
+		}
+		chunks = append(chunks, chunk)
+		want = append(want, chunk...)
+	}
+	ss.Listen(serverAP, func(c *Conn) {
+		c.WriteStable(chunks...)
+		c.Close()
+	})
+	conn, _ := cs.Dial(clientAddr, serverAP)
+	var got []byte
+	conn.OnData(func(p []byte) { got = append(got, p...) })
+	loop.Run()
+	if !bytes.Equal(got, want) {
+		t.Fatalf("transfer corrupted: got %d bytes, want %d", len(got), len(want))
+	}
+}
+
+func TestWriteStableSegmentationMatchesWrite(t *testing.T) {
+	// WriteStable of several chunks must produce the identical wire
+	// traffic as one Write of their concatenation: segmentation ignores
+	// chunk boundaries.
+	run := func(stable bool) (uint64, []byte) {
+		loop, cs, ss := testNet(t, 25*sim.Millisecond, 0, 0)
+		head := []byte("HTTP/1.1 200 OK\r\nContent-Length: 5000\r\n\r\n")
+		body := bytes.Repeat([]byte{0xAB}, 5000)
+		var sent uint64
+		ss.Listen(serverAP, func(c *Conn) {
+			if stable {
+				c.WriteStable(head, body)
+			} else {
+				c.Write(append(append([]byte(nil), head...), body...))
+			}
+			c.Close()
+		})
+		conn, _ := cs.Dial(clientAddr, serverAP)
+		var got []byte
+		conn.OnData(func(p []byte) { got = append(got, p...) })
+		loop.Run()
+		st := conn.Statistics()
+		sent = st.SegmentsRcvd
+		return sent, got
+	}
+	segsA, gotA := run(false)
+	segsB, gotB := run(true)
+	if segsA != segsB {
+		t.Fatalf("segment counts differ: Write %d vs WriteStable %d", segsA, segsB)
+	}
+	if !bytes.Equal(gotA, gotB) {
+		t.Fatalf("byte streams differ")
+	}
+}
+
 func TestLargeTransferIntegrity(t *testing.T) {
 	loop, cs, ss := testNet(t, 30*sim.Millisecond, 0, 0)
 	// 1 MiB of patterned data, far exceeding the initial window.
