@@ -290,20 +290,51 @@ func BenchmarkPageLoad(b *testing.B) {
 // output alone. All three report allocations; the loop and matcher paths
 // are expected to stay at (or very near) zero allocs/op in steady state.
 
-// BenchmarkLoopSchedule measures scheduling and firing 64 events per
-// iteration on a warmed loop: the slab + inlined-heap scheduling primitive
-// every simulated packet, timer, and browser event goes through.
+// BenchmarkLoopSchedule measures the scheduling primitive every simulated
+// packet, timer, and browser event goes through, under each scheduler
+// (sub-benchmark wheel = default calendar queue, heap = PR2 ablation).
+//
+// What one "op" covers: scheduling 64 events onto a warmed loop that
+// already holds a standing population of 1200 future events spread over
+// 100 distinct timestamps (the queue depth and ~12-events-per-timestamp
+// clustering a replayed page load sustains; see mm-bench -schedstats) —
+// 32 clustered onto 8 distinct future timestamps (the packet-train shape:
+// bursts share a box exit instant) and 32 at distinct timestamps (the
+// timer/CPU-task shape) — then firing exactly those 64. One op is
+// therefore 64 schedule+fire round trips including clock advances, and
+// ns/event (reported via ReportMetric) is the comparable per-event cost:
+// elapsed / (64 * N). Compare ns/event across -sched ablations and PRs,
+// not ns/op, which also absorbs loop-warmup effects.
 func BenchmarkLoopSchedule(b *testing.B) {
-	loop := sim.NewLoop()
-	h := func(sim.Time) {}
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		for j := 0; j < 64; j++ {
-			loop.Schedule(sim.Time(j)*sim.Microsecond, h)
-		}
-		for loop.Step() {
-		}
+	for _, kind := range []sim.SchedulerKind{sim.SchedWheel, sim.SchedHeap} {
+		b.Run(kind.String(), func(b *testing.B) {
+			loop := sim.NewLoopSched(kind)
+			h := func(sim.Time) {}
+			// Standing population at far-future deadlines: present in the
+			// queue for every measured operation, never fired.
+			const standing = 1200
+			for j := 0; j < standing; j++ {
+				loop.Schedule(sim.Time(j%100+1)*sim.Second*100_000, h)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for j := 0; j < 32; j++ {
+					// 8 distinct deadlines, 4 back-to-back events each: the
+					// burst shape (a window of packets entering one box).
+					loop.Schedule(sim.Time(j/4+1)*sim.Microsecond, h)
+				}
+				for j := 0; j < 32; j++ {
+					// Distinct deadlines: the unclustered tail.
+					loop.Schedule(sim.Time(100+j)*sim.Microsecond, h)
+				}
+				loop.RunFor(sim.Millisecond)
+				if loop.Pending() != standing {
+					b.Fatalf("standing population disturbed: %d", loop.Pending())
+				}
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(64*b.N), "ns/event")
+		})
 	}
 }
 

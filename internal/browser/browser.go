@@ -108,6 +108,23 @@ type Scratch struct {
 	childFired []bool
 	counts     []int
 	wireBuf    []byte
+	// parsers recycles response parsers (and their body buffers) across
+	// connections and loads. The browser only meters bodies, so parsers
+	// run with ReuseBodies and each connection's responses borrow one
+	// recycled buffer instead of allocating per response.
+	parsers []*httpx.ResponseParser
+}
+
+// getParser draws a recycled response parser, or creates one.
+func (sc *Scratch) getParser() *httpx.ResponseParser {
+	if n := len(sc.parsers); n > 0 {
+		p := sc.parsers[n-1]
+		sc.parsers[n-1] = nil
+		sc.parsers = sc.parsers[:n-1]
+		p.Reset()
+		return p
+	}
+	return &httpx.ResponseParser{ReuseBodies: true}
 }
 
 // New creates a browser. stack must belong to the app namespace; resolver
@@ -167,6 +184,7 @@ type pool struct {
 // load is one in-progress page load.
 type load struct {
 	b       *Browser
+	sc      *Scratch // effective scratch (shared or load-private)
 	page    *webgen.Page
 	fetches []fetch
 	// children[i] lists resource i's child indices; childFired[c] records
@@ -227,6 +245,7 @@ func (b *Browser) Load(page *webgen.Page, done func(Result)) {
 	n := len(page.Resources)
 	l := &load{
 		b:         b,
+		sc:        sc,
 		page:      page,
 		pools:     map[originKey]*pool{},
 		resolved:  map[string]nsim.Addr{},
@@ -404,7 +423,7 @@ func (l *load) dial(p *pool) *poolConn {
 	if err != nil {
 		return nil
 	}
-	pc := &poolConn{tc: tc, parser: &httpx.ResponseParser{}}
+	pc := &poolConn{tc: tc, parser: l.sc.getParser()}
 	p.conns = append(p.conns, pc)
 	tc.OnEstablished(func() {
 		pc.ready = true
@@ -443,6 +462,9 @@ func (l *load) issuePending(pc *poolConn) {
 // onData feeds response bytes: incremental discovery first, then complete
 // responses.
 func (l *load) onData(p *pool, pc *poolConn, data []byte) {
+	if pc.parser == nil {
+		return // load already complete; late bytes carry nothing we need
+	}
 	if len(pc.inflight) > 0 {
 		// Approximate body progress for the head response: count all
 		// bytes after the first burst (which contains the header).
@@ -540,9 +562,15 @@ func (l *load) complete() {
 	if sc := l.b.scratch; sc != nil {
 		sc.wireBuf = l.wireBuf // keep the grown buffer for the next load
 	}
-	// Close all connections so the event loop drains.
+	// Close all connections so the event loop drains. Every response has
+	// been fully parsed by now (completion requires all bodies), so the
+	// parsers — and their recycled body buffers — go back to the scratch.
 	for _, p := range l.pools {
 		for _, pc := range p.conns {
+			if pc.parser != nil {
+				l.sc.parsers = append(l.sc.parsers, pc.parser)
+				pc.parser = nil
+			}
 			if !pc.dead {
 				pc.tc.Close()
 			}

@@ -75,9 +75,22 @@ type Scratch struct {
 	browser  browser.Scratch
 	pools    *nsim.PoolSet
 	segments *tcpsim.SegmentPool
+	loop     *sim.Loop
 
 	matcherSite *archive.Site
 	matcher     *match.Matcher
+}
+
+// loopFor returns a reset, warmed event loop, replacing it when the
+// process-default scheduler changed since the last load (e.g. an ablation
+// run switching kinds mid-process).
+func (s *Scratch) loopFor() *sim.Loop {
+	if s.loop == nil || s.loop.Scheduler() != sim.DefaultScheduler() {
+		s.loop = sim.NewLoop()
+		return s.loop
+	}
+	s.loop.Reset()
+	return s.loop
 }
 
 // NewScratch returns an empty scratch.
@@ -111,7 +124,7 @@ func Load(spec LoadSpec) browser.Result {
 		sc = scratchPool.Get().(*Scratch)
 		defer scratchPool.Put(sc)
 	}
-	loop := sim.NewLoop()
+	loop := sc.loopFor()
 	network := nsim.NewNetworkPooled(loop, sc.pools)
 	site := spec.Site
 	if site == nil {

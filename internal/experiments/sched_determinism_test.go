@@ -1,0 +1,129 @@
+package experiments
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"sort"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// schedKinds are the schedulers every artifact must agree across.
+var schedKinds = []sim.SchedulerKind{sim.SchedWheel, sim.SchedHeap}
+
+// schedArtifacts renders a subsampled version of every experiment artifact
+// (the same set mm-bench regenerates: fig2, table1, table2, fig3,
+// isolation, sweep) at a given engine parallelism.
+var schedArtifacts = map[string]func(parallel int) string{
+	"fig2": func(parallel int) string {
+		cfg := Fig2Config{
+			Sites: 10, Seed: 1,
+			DelayForwarding: 30 * sim.Microsecond,
+			LinkForwarding:  250 * sim.Microsecond,
+			Parallel:        parallel,
+		}
+		return Fig2(cfg).String()
+	},
+	"table1": func(parallel int) string {
+		cfg := DefaultTable1()
+		cfg.Loads = 4
+		cfg.Parallel = parallel
+		return Table1(cfg).String()
+	},
+	"table2": func(parallel int) string {
+		cfg := Table2Config{
+			Sites: 6, Seed: 2,
+			Delays:   []sim.Time{30 * sim.Millisecond},
+			Rates:    []int64{1_000_000, 25_000_000},
+			Parallel: parallel,
+		}
+		return Table2(cfg).String()
+	},
+	"fig3": func(parallel int) string {
+		cfg := Fig3Config{
+			Loads: 4, Seed: 3,
+			MinRTTBase: 20 * sim.Millisecond, MinRTTSpread: 20 * sim.Millisecond,
+			Parallel: parallel,
+		}
+		return Fig3(cfg).String()
+	},
+	"isolation": func(parallel int) string {
+		return Isolation(5, parallel).String()
+	},
+	"sweep": func(parallel int) string {
+		cfg := DefaultSweep()
+		cfg.Sites = 4
+		cfg.Parallel = parallel
+		return Sweep(cfg).String()
+	},
+}
+
+// TestCrossSchedulerParallelDeterminism is the scheduler-ablation safety
+// net: every artifact must be byte-identical under the wheel and the heap
+// scheduler, at engine parallelism 1, 2 and 8 (run with -race in CI). This
+// is what licenses mm-bench -sched as a pure performance knob and packet
+// trains as a pure event-count optimization — neither may move a number.
+func TestCrossSchedulerParallelDeterminism(t *testing.T) {
+	prev := sim.DefaultScheduler()
+	defer sim.SetDefaultScheduler(prev)
+
+	names := make([]string, 0, len(schedArtifacts))
+	for name := range schedArtifacts {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	for _, name := range names {
+		render := schedArtifacts[name]
+		type variant struct {
+			kind     sim.SchedulerKind
+			parallel int
+		}
+		var goldenHash [32]byte
+		var golden variant
+		first := true
+		for _, kind := range schedKinds {
+			sim.SetDefaultScheduler(kind)
+			for _, parallel := range parallelLevels {
+				out := render(parallel)
+				if out == "" {
+					t.Fatalf("%s: empty artifact (sched=%v parallel=%d)", name, kind, parallel)
+				}
+				h := sha256.Sum256([]byte(out))
+				if first {
+					goldenHash, golden, first = h, variant{kind, parallel}, false
+					continue
+				}
+				if h != goldenHash {
+					t.Errorf("%s: artifact hash %x under sched=%v parallel=%d differs from %x under sched=%v parallel=%d",
+						name, h[:8], kind, parallel, goldenHash[:8], golden.kind, golden.parallel)
+				}
+			}
+		}
+	}
+}
+
+// TestSchedulerKindPlumbing pins the ablation switch itself: NewLoop obeys
+// the process default, and a scratch's recycled loop is replaced when the
+// default changes mid-process (the ablation pattern mm-bench -sched uses).
+func TestSchedulerKindPlumbing(t *testing.T) {
+	prev := sim.DefaultScheduler()
+	defer sim.SetDefaultScheduler(prev)
+
+	sim.SetDefaultScheduler(sim.SchedHeap)
+	if got := sim.NewLoop().Scheduler(); got != sim.SchedHeap {
+		t.Fatalf("NewLoop scheduler = %v, want heap", got)
+	}
+	sc := NewScratch()
+	if got := sc.loopFor().Scheduler(); got != sim.SchedHeap {
+		t.Fatalf("scratch loop scheduler = %v, want heap", got)
+	}
+	sim.SetDefaultScheduler(sim.SchedWheel)
+	if got := sc.loopFor().Scheduler(); got != sim.SchedWheel {
+		t.Fatalf("scratch loop not replaced on scheduler switch: %v", got)
+	}
+	if fmt.Sprint(sim.SchedWheel, sim.SchedHeap) != "wheel heap" {
+		t.Fatalf("SchedulerKind names changed: %v %v", sim.SchedWheel, sim.SchedHeap)
+	}
+}

@@ -70,11 +70,15 @@ func (p *RequestParser) Feed(data []byte) ([]*Request, error) {
 				out = append(out, p.finishRequest())
 			}
 		case phaseBodyLength:
-			if p.buf.Len() < p.need {
+			// Drain partial bodies immediately; see the response parser's
+			// phaseBodyLength case.
+			if n := min(p.need, p.buf.Len()); n > 0 {
+				p.cur.Body = append(p.cur.Body, p.buf.Next(n)...)
+				p.need -= n
+			}
+			if p.need > 0 {
 				return out, nil
 			}
-			p.cur.Body = append(p.cur.Body, p.buf.Next(p.need)...)
-			p.need = 0
 			out = append(out, p.finishRequest())
 		case phaseBodyChunkSize, phaseBodyChunkData, phaseBodyChunkTrailer:
 			done, ok, err := stepChunk(&p.buf, &p.phase, &p.need, &p.chunked)
@@ -116,6 +120,42 @@ type ResponseParser struct {
 	need    int
 	chunked bytes.Buffer
 	methods []string // FIFO of outstanding request methods
+
+	// ReuseBodies makes every parsed response borrow one recycled body
+	// buffer instead of allocating per response: a returned Response's
+	// Body content is then valid only until the parser starts the next
+	// response's body — which can happen within a single Feed call when
+	// pipelined responses complete together, so bodies in one returned
+	// batch share the buffer and only the last one's content survives.
+	// Body lengths are always correct. For consumers that only meter
+	// bodies (the browser model reads lengths, not content) this removes
+	// the dominant per-page allocation; consumers that retain responses
+	// (archiving a recorded site) must leave it off.
+	ReuseBodies bool
+	bodyBuf     []byte
+}
+
+// Reset returns the parser to its initial state (no partial message, no
+// expected methods) while keeping grown buffers, so one parser can serve
+// many sequential connections.
+func (p *ResponseParser) Reset() {
+	p.buf.Reset()
+	p.chunked.Reset()
+	p.phase = phaseHead
+	p.cur = nil
+	p.need = 0
+	p.methods = p.methods[:0]
+}
+
+// body returns the initial body slice for a response of capacity hint n.
+func (p *ResponseParser) body(n int) []byte {
+	if !p.ReuseBodies {
+		return make([]byte, 0, n)
+	}
+	if cap(p.bodyBuf) < n {
+		p.bodyBuf = make([]byte, 0, n)
+	}
+	return p.bodyBuf[:0]
 }
 
 // ExpectMethod queues the method of the next outstanding request, so HEAD
@@ -180,18 +220,26 @@ func (p *ResponseParser) Feed(data []byte) ([]*Response, error) {
 			case chunked:
 				p.phase = phaseBodyChunkSize
 			case n > 0:
-				p.cur.Body = make([]byte, 0, n) // sized once; no growth churn
+				p.cur.Body = p.body(n) // sized once; no growth churn
 				p.need = n
 				p.phase = phaseBodyLength
 			default:
 				out = append(out, p.finishResponse())
 			}
 		case phaseBodyLength:
-			if p.buf.Len() < p.need {
+			// Drain whatever body bytes are buffered immediately — even a
+			// partial body — so the reassembly buffer empties and the
+			// streaming fast path above takes every subsequent Feed.
+			// Leaving the partial body in buf would re-copy it on each
+			// append until the full length arrived (quadratic in body
+			// size for segment-at-a-time transports).
+			if n := min(p.need, p.buf.Len()); n > 0 {
+				p.cur.Body = append(p.cur.Body, p.buf.Next(n)...)
+				p.need -= n
+			}
+			if p.need > 0 {
 				return out, nil
 			}
-			p.cur.Body = append(p.cur.Body, p.buf.Next(p.need)...)
-			p.need = 0
 			out = append(out, p.finishResponse())
 		case phaseBodyChunkSize, phaseBodyChunkData, phaseBodyChunkTrailer:
 			done, ok, err := stepChunk(&p.buf, &p.phase, &p.need, &p.chunked)
@@ -202,7 +250,7 @@ func (p *ResponseParser) Feed(data []byte) ([]*Response, error) {
 				return out, nil
 			}
 			if done {
-				p.cur.Body = append(p.cur.Body, p.chunked.Bytes()...)
+				p.cur.Body = append(p.body(p.chunked.Len()), p.chunked.Bytes()...)
 				p.chunked.Reset()
 				// Replace chunked framing with explicit length so the
 				// stored message re-serializes deterministically.
@@ -218,6 +266,12 @@ func (p *ResponseParser) finishResponse() *Response {
 	resp := p.cur
 	p.cur = nil
 	p.phase = phaseHead
+	if p.ReuseBodies && cap(resp.Body) >= cap(p.bodyBuf) {
+		// Keep the (possibly grown) array for the next response. The cap
+		// guard keeps the pooled buffer across bodyless responses (204,
+		// 304, HEAD), whose nil Body must not discard it.
+		p.bodyBuf = resp.Body[:0]
+	}
 	return resp
 }
 

@@ -14,13 +14,24 @@ import (
 // Because the delay is identical for every packet, delivery is FIFO; the box
 // nevertheless keeps an explicit queue so its occupancy can be observed, and
 // so that the ablation bench can compare against a heap-based variant.
+//
+// Bursts are delivered as packet trains: a run of packets arriving at one
+// instant with nothing scheduled in between (see train) shares one delivery
+// event and reaches the sink as one batch, so a congestion-window burst
+// costs one event instead of one per packet.
 type DelayBox struct {
-	loop  *sim.Loop
-	delay sim.Time
-	sink  Sink
-	stats BoxStats
-	// releaseFn is the release method pre-bound once, so each packet's
-	// delivery event carries the packet as the event argument instead of a
+	loop      *sim.Loop
+	delay     sim.Time
+	sink      Sink
+	batchSink BatchSink
+	stats     BoxStats
+	// open is the train still accepting same-instant appends; mark is the
+	// loop's SeqMark right after the train last grew, the adjacency guard.
+	open   *train
+	mark   uint64
+	trains trainPool
+	// releaseFn is the release method pre-bound once, so each train's
+	// delivery event carries the train as the event argument instead of a
 	// freshly allocated closure.
 	releaseFn sim.ArgHandler
 }
@@ -39,11 +50,8 @@ func NewDelayBox(loop *sim.Loop, delay sim.Time) *DelayBox {
 // Delay reports the configured one-way delay.
 func (d *DelayBox) Delay() sim.Time { return d.delay }
 
-// Send implements Box.
-func (d *DelayBox) Send(pkt *Packet) {
-	if d.sink == nil {
-		panic("netem: DelayBox.Send before SetSink")
-	}
+// admit runs per-packet ingress accounting.
+func (d *DelayBox) admit(pkt *Packet) {
 	d.stats.Arrived++
 	d.stats.ArrivedBytes += uint64(pkt.Size)
 	d.stats.QueueLen++
@@ -52,21 +60,73 @@ func (d *DelayBox) Send(pkt *Packet) {
 		d.stats.MaxQueueLen = d.stats.QueueLen
 	}
 	pkt.Sent = d.loop.Now()
-	d.loop.ScheduleArg(d.delay, d.releaseFn, pkt)
 }
 
-// release delivers one delayed packet to the sink.
+// schedule joins the packet to the open train when the adjacency guard
+// holds (same exit instant, no event scheduled since the last append), and
+// otherwise opens a fresh train with its own delivery event.
+func (d *DelayBox) schedule(pkt *Packet) {
+	exit := d.loop.Now() + d.delay
+	if d.open != nil && d.open.exit == exit && d.loop.SeqMark() == d.mark {
+		d.open.pkts = append(d.open.pkts, pkt)
+		return
+	}
+	t := d.trains.get()
+	t.exit = exit
+	t.pkts = append(t.pkts, pkt)
+	d.open = t
+	d.loop.ScheduleArg(d.delay, d.releaseFn, t)
+	d.mark = d.loop.SeqMark()
+}
+
+// Send implements Box.
+func (d *DelayBox) Send(pkt *Packet) {
+	if d.sink == nil {
+		panic("netem: DelayBox.Send before SetSink")
+	}
+	d.admit(pkt)
+	d.schedule(pkt)
+}
+
+// SendBatch implements Box: the whole train shares one exit instant, so
+// after the first packet (possibly) opens a train the rest append in O(1).
+func (d *DelayBox) SendBatch(pkts []*Packet) {
+	if d.sink == nil {
+		panic("netem: DelayBox.Send before SetSink")
+	}
+	for _, pkt := range pkts {
+		d.admit(pkt)
+		d.schedule(pkt)
+	}
+}
+
+// release delivers one train to the sink.
 func (d *DelayBox) release(_ sim.Time, arg any) {
-	pkt := arg.(*Packet)
-	d.stats.QueueLen--
-	d.stats.QueueBytes -= pkt.Size
-	d.stats.Delivered++
-	d.stats.DeliveredBytes += uint64(pkt.Size)
-	d.sink(pkt)
+	t := arg.(*train)
+	if d.open == t {
+		d.open = nil
+	}
+	for _, pkt := range t.pkts {
+		d.stats.QueueLen--
+		d.stats.QueueBytes -= pkt.Size
+		d.stats.Delivered++
+		d.stats.DeliveredBytes += uint64(pkt.Size)
+	}
+	if d.batchSink != nil {
+		d.batchSink(t.pkts)
+	} else {
+		for _, pkt := range t.pkts {
+			d.sink(pkt)
+		}
+	}
+	d.trains.put(t)
 }
 
 // SetSink implements Box.
 func (d *DelayBox) SetSink(sink Sink) { d.sink = sink }
+
+// SetBatchSink implements Box.
+func (d *DelayBox) SetBatchSink(sink BatchSink) { d.batchSink = sink }
 
 // Stats implements Box.
 func (d *DelayBox) Stats() BoxStats { return d.stats }
@@ -119,6 +179,15 @@ func (d *FIFODelayBox) Send(pkt *Packet) {
 	d.arm()
 }
 
+// SendBatch implements Box. The FIFO variant's release path is inherently
+// sequential (one packet per timer firing, rearmed after each delivery), so
+// trains enter the queue per-packet and are not reformed on egress.
+func (d *FIFODelayBox) SendBatch(pkts []*Packet) {
+	for _, pkt := range pkts {
+		d.Send(pkt)
+	}
+}
+
 func (d *FIFODelayBox) arm() {
 	if d.armed || d.head >= len(d.queue) {
 		return
@@ -147,6 +216,9 @@ func (d *FIFODelayBox) fire(sim.Time) {
 // SetSink implements Box.
 func (d *FIFODelayBox) SetSink(sink Sink) { d.sink = sink }
 
+// SetBatchSink implements Box (unused: egress is per-packet).
+func (d *FIFODelayBox) SetBatchSink(BatchSink) {}
+
 // Stats implements Box.
 func (d *FIFODelayBox) Stats() BoxStats {
 	st := d.stats
@@ -158,10 +230,12 @@ func (d *FIFODelayBox) Stats() BoxStats {
 // (Mahimahi's mm-loss extension). Drops are drawn from a dedicated sim.Rand
 // stream so loss patterns are reproducible.
 type LossBox struct {
-	prob  float64
-	rng   *sim.Rand
-	sink  Sink
-	stats BoxStats
+	prob      float64
+	rng       *sim.Rand
+	sink      Sink
+	batchSink BatchSink
+	stats     BoxStats
+	surv      []*Packet // recycled survivor scratch for SendBatch
 }
 
 // NewLossBox returns a box that drops packets with probability prob in
@@ -189,8 +263,45 @@ func (l *LossBox) Send(pkt *Packet) {
 	l.sink(pkt)
 }
 
+// SendBatch implements Box. Loss draws happen per packet in train order —
+// exactly the stream a per-packet Send sequence would consume — and the
+// surviving (possibly shortened) run continues as one train.
+func (l *LossBox) SendBatch(pkts []*Packet) {
+	if l.sink == nil {
+		panic("netem: LossBox.Send before SetSink")
+	}
+	surv := l.surv[:0]
+	for _, pkt := range pkts {
+		l.stats.Arrived++
+		l.stats.ArrivedBytes += uint64(pkt.Size)
+		if l.prob > 0 && l.rng.Float64() < l.prob {
+			l.stats.Dropped++
+			continue
+		}
+		l.stats.Delivered++
+		l.stats.DeliveredBytes += uint64(pkt.Size)
+		surv = append(surv, pkt)
+	}
+	if len(surv) > 0 {
+		if l.batchSink != nil {
+			l.batchSink(surv)
+		} else {
+			for _, pkt := range surv {
+				l.sink(pkt)
+			}
+		}
+	}
+	for i := range surv {
+		surv[i] = nil
+	}
+	l.surv = surv[:0]
+}
+
 // SetSink implements Box.
 func (l *LossBox) SetSink(sink Sink) { l.sink = sink }
+
+// SetBatchSink implements Box.
+func (l *LossBox) SetBatchSink(sink BatchSink) { l.batchSink = sink }
 
 // Stats implements Box.
 func (l *LossBox) Stats() BoxStats { return l.stats }
@@ -200,6 +311,13 @@ func (l *LossBox) Stats() BoxStats { return l.stats }
 // one another. It is the non-trace alternative to TraceBox for constant-rate
 // links, and is used by the ablation benches to validate TraceBox's
 // constant-rate traces against first principles.
+//
+// A train entering the box is admitted in one call and each packet's exit
+// time is precomputed at admission (exit_i = exit_{i-1} + size_i*8/rate):
+// the serialization schedule of a burst is fully determined the moment it
+// joins the queue. One rearmable timer walks the schedule, so draining a
+// burst allocates no event slots; exits remain distinct instants, exactly
+// as a store-and-forward transmitter behaves.
 type RateBox struct {
 	loop    *sim.Loop
 	bps     int64 // bits per second
@@ -208,8 +326,8 @@ type RateBox struct {
 	sink    Sink
 	stats   BoxStats
 	sending bool
-	cur     *Packet     // packet occupying the transmitter
-	doneFn  sim.Handler // finish pre-bound once; see DelayBox.releaseFn
+	cur     *Packet   // packet occupying the transmitter
+	timer   sim.Timer // finish timer, rearmed across the precomputed schedule
 }
 
 // NewRateBox returns a fixed-rate box. bitsPerSec must be positive. queue
@@ -222,7 +340,7 @@ func NewRateBox(loop *sim.Loop, bitsPerSec int64, queue *DropTail) *RateBox {
 		queue = NewDropTail(0, 0)
 	}
 	r := &RateBox{loop: loop, bps: bitsPerSec, queue: queue}
-	r.doneFn = r.finish
+	r.timer = loop.NewTimer(r.finish)
 	return r
 }
 
@@ -231,21 +349,46 @@ func (r *RateBox) transmitTime(size int) sim.Time {
 	return sim.Time(int64(size) * 8 * int64(sim.Second) / r.bps)
 }
 
-// Send implements Box.
-func (r *RateBox) Send(pkt *Packet) {
-	if r.sink == nil {
-		panic("netem: RateBox.Send before SetSink")
-	}
+// admit queues one packet and stamps its precomputed exit time.
+func (r *RateBox) admit(pkt *Packet) {
 	r.stats.Arrived++
 	r.stats.ArrivedBytes += uint64(pkt.Size)
 	if !r.queue.Push(pkt) {
 		r.stats.Dropped++
 		return
 	}
+	now := r.loop.Now()
+	if r.busyTil < now {
+		r.busyTil = now
+	}
+	r.busyTil += r.transmitTime(pkt.Size)
+	pkt.exit = r.busyTil
 	if r.stats.QueueLen = r.queue.Len(); r.stats.QueueLen > r.stats.MaxQueueLen {
 		r.stats.MaxQueueLen = r.stats.QueueLen
 	}
 	r.stats.QueueBytes = r.queue.Bytes()
+}
+
+// Send implements Box.
+func (r *RateBox) Send(pkt *Packet) {
+	if r.sink == nil {
+		panic("netem: RateBox.Send before SetSink")
+	}
+	r.admit(pkt)
+	if !r.sending {
+		r.startNext()
+	}
+}
+
+// SendBatch implements Box: the whole train is admitted (and its exit
+// schedule fixed) in one pass, then the transmitter is started once.
+func (r *RateBox) SendBatch(pkts []*Packet) {
+	if r.sink == nil {
+		panic("netem: RateBox.Send before SetSink")
+	}
+	for _, pkt := range pkts {
+		r.admit(pkt)
+	}
 	if !r.sending {
 		r.startNext()
 	}
@@ -259,7 +402,7 @@ func (r *RateBox) startNext() {
 	}
 	r.sending = true
 	r.cur = pkt
-	r.loop.Schedule(r.transmitTime(pkt.Size), r.doneFn)
+	r.timer.Reset(pkt.exit - r.loop.Now())
 }
 
 // finish completes the current packet's serialization and starts the next.
@@ -276,6 +419,10 @@ func (r *RateBox) finish(sim.Time) {
 
 // SetSink implements Box.
 func (r *RateBox) SetSink(sink Sink) { r.sink = sink }
+
+// SetBatchSink implements Box (unused: serialization exits are distinct
+// instants, so egress is inherently per-packet).
+func (r *RateBox) SetBatchSink(BatchSink) {}
 
 // Stats implements Box.
 func (r *RateBox) Stats() BoxStats { return r.stats }

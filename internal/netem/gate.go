@@ -15,16 +15,18 @@ import (
 // Period lengths can be jittered by a seeded RNG so that on/off phases do
 // not align across runs unless desired.
 type GateBox struct {
-	loop   *sim.Loop
-	on     sim.Time
-	off    sim.Time
-	jitter float64 // fraction of period length, 0 = strictly periodic
-	rng    *sim.Rand
-	isOn   bool
-	queue  *DropTail
-	sink   Sink
-	stats  BoxStats
-	flipFn sim.Handler // flip pre-bound once, so periods schedule closure-free
+	loop      *sim.Loop
+	on        sim.Time
+	off       sim.Time
+	jitter    float64 // fraction of period length, 0 = strictly periodic
+	rng       *sim.Rand
+	isOn      bool
+	queue     *DropTail
+	sink      Sink
+	batchSink BatchSink
+	stats     BoxStats
+	drain     []*Packet   // recycled scratch for the restore-time flush
+	flipFn    sim.Handler // flip pre-bound once, so periods schedule closure-free
 }
 
 // NewGateBox returns an intermittent-link box that starts in the on state.
@@ -62,13 +64,33 @@ func (g *GateBox) period(nominal sim.Time) sim.Time {
 func (g *GateBox) flip(sim.Time) {
 	g.isOn = !g.isOn
 	if g.isOn {
-		// Link restored: drain everything held during the outage.
-		for {
-			pkt := g.queue.Pop()
-			if pkt == nil {
-				break
+		// Link restored: drain everything held during the outage. The
+		// backlog leaves at one instant with nothing interleaved, so it
+		// continues downstream as a single train when possible.
+		if g.batchSink != nil && g.queue.Len() > 1 {
+			drain := g.drain[:0]
+			for {
+				pkt := g.queue.Pop()
+				if pkt == nil {
+					break
+				}
+				g.stats.Delivered++
+				g.stats.DeliveredBytes += uint64(pkt.Size)
+				drain = append(drain, pkt)
 			}
-			g.deliver(pkt)
+			g.batchSink(drain)
+			for i := range drain {
+				drain[i] = nil
+			}
+			g.drain = drain[:0]
+		} else {
+			for {
+				pkt := g.queue.Pop()
+				if pkt == nil {
+					break
+				}
+				g.deliver(pkt)
+			}
 		}
 		g.loop.Schedule(g.period(g.on), g.flipFn)
 	} else {
@@ -102,8 +124,32 @@ func (g *GateBox) Send(pkt *Packet) {
 	}
 }
 
+// SendBatch implements Box: an on-state train passes through as a train;
+// an off-state train is queued packet-by-packet (drops shorten it).
+func (g *GateBox) SendBatch(pkts []*Packet) {
+	if g.sink == nil {
+		panic("netem: GateBox.Send before SetSink")
+	}
+	if g.isOn && g.batchSink != nil {
+		for _, pkt := range pkts {
+			g.stats.Arrived++
+			g.stats.ArrivedBytes += uint64(pkt.Size)
+			g.stats.Delivered++
+			g.stats.DeliveredBytes += uint64(pkt.Size)
+		}
+		g.batchSink(pkts)
+		return
+	}
+	for _, pkt := range pkts {
+		g.Send(pkt)
+	}
+}
+
 // SetSink implements Box.
 func (g *GateBox) SetSink(sink Sink) { g.sink = sink }
+
+// SetBatchSink implements Box.
+func (g *GateBox) SetBatchSink(sink BatchSink) { g.batchSink = sink }
 
 // Stats implements Box.
 func (g *GateBox) Stats() BoxStats {

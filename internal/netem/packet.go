@@ -41,6 +41,9 @@ type Packet struct {
 	// Sent is the virtual time the packet entered the current box. Boxes
 	// update it on ingress.
 	Sent sim.Time
+	// exit is the packet's precomputed departure time from the box
+	// currently holding it (RateBox's serialization schedule).
+	exit sim.Time
 	// Payload is opaque transport data (e.g. a *tcpsim.Segment).
 	Payload any
 	// pooled marks packets allocated from a PacketPool; only those are
@@ -85,14 +88,30 @@ func (p *Packet) String() string {
 // Sink consumes delivered packets.
 type Sink func(pkt *Packet)
 
-// Box is a unidirectional packet processor: packets enter via Send and are
-// eventually handed to the sink (or dropped).
+// BatchSink consumes a packet train: a contiguous run of packets delivered
+// at one virtual instant whose per-packet deliveries are provably adjacent
+// in event-firing order (nothing else may fire between them), so the whole
+// run can be handed over in one call. The slice is owned by the caller and
+// valid only for the duration of the call; consumers must not retain it.
+type BatchSink func(pkts []*Packet)
+
+// Box is a unidirectional packet processor: packets enter via Send (or, as
+// a train, SendBatch) and are eventually handed to the sink (or dropped).
 type Box interface {
 	// Send injects a packet into the box at the current virtual time.
 	Send(pkt *Packet)
+	// SendBatch injects a same-instant packet train. It is semantically
+	// identical to calling Send for each packet in order with nothing in
+	// between; boxes use the batch shape to do per-train instead of
+	// per-packet work (one delivery event, one queue arm).
+	SendBatch(pkts []*Packet)
 	// SetSink installs the delivery callback. It must be called before the
 	// first Send.
 	SetSink(sink Sink)
+	// SetBatchSink installs the train delivery callback. Optional: a box
+	// whose downstream never sets one delivers trains packet-by-packet
+	// through the plain sink, which is behaviorally identical.
+	SetBatchSink(sink BatchSink)
 	// Stats reports the box's counters.
 	Stats() BoxStats
 }
@@ -120,8 +139,9 @@ type BoxStats struct {
 // Pipeline and as the baseline in overhead experiments (Figure 2's
 // "ReplayShell alone" stack).
 type Wire struct {
-	sink  Sink
-	stats BoxStats
+	sink      Sink
+	batchSink BatchSink
+	stats     BoxStats
 }
 
 // NewWire returns a passthrough box.
@@ -139,8 +159,32 @@ func (w *Wire) Send(pkt *Packet) {
 	w.sink(pkt)
 }
 
+// SendBatch implements Box: a train passes through untouched — and, when
+// the downstream installed a batch sink, undivided.
+func (w *Wire) SendBatch(pkts []*Packet) {
+	if w.batchSink == nil {
+		for _, pkt := range pkts {
+			w.Send(pkt)
+		}
+		return
+	}
+	if w.sink == nil {
+		panic("netem: Wire.Send before SetSink")
+	}
+	for _, pkt := range pkts {
+		w.stats.Arrived++
+		w.stats.ArrivedBytes += uint64(pkt.Size)
+		w.stats.Delivered++
+		w.stats.DeliveredBytes += uint64(pkt.Size)
+	}
+	w.batchSink(pkts)
+}
+
 // SetSink implements Box.
 func (w *Wire) SetSink(sink Sink) { w.sink = sink }
+
+// SetBatchSink implements Box.
+func (w *Wire) SetBatchSink(sink BatchSink) { w.batchSink = sink }
 
 // Stats implements Box.
 func (w *Wire) Stats() BoxStats { return w.stats }

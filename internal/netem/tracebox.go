@@ -25,8 +25,8 @@ type TraceBox struct {
 	sink   Sink
 	stats  BoxStats
 	armed  bool
-	sentOf int         // bytes of the head packet already delivered
-	fireFn sim.Handler // fire pre-bound once, so arming allocates nothing
+	sentOf int       // bytes of the head packet already delivered
+	timer  sim.Timer // opportunity timer, rearmed across the trace
 }
 
 // NewTraceBox returns a trace-driven box. queue bounds the backlog; pass nil
@@ -36,15 +36,12 @@ func NewTraceBox(loop *sim.Loop, opps OpportunitySource, queue *DropTail) *Trace
 		queue = NewDropTail(0, 0)
 	}
 	t := &TraceBox{loop: loop, opps: opps, queue: queue}
-	t.fireFn = t.fire
+	t.timer = loop.NewTimer(t.fire)
 	return t
 }
 
-// Send implements Box.
-func (t *TraceBox) Send(pkt *Packet) {
-	if t.sink == nil {
-		panic("netem: TraceBox.Send before SetSink")
-	}
+// admit queues one packet, dropping on overflow.
+func (t *TraceBox) admit(pkt *Packet) {
 	t.stats.Arrived++
 	t.stats.ArrivedBytes += uint64(pkt.Size)
 	if !t.queue.Push(pkt) {
@@ -55,6 +52,28 @@ func (t *TraceBox) Send(pkt *Packet) {
 		t.stats.MaxQueueLen = t.stats.QueueLen
 	}
 	t.stats.QueueBytes = t.queue.Bytes()
+}
+
+// Send implements Box.
+func (t *TraceBox) Send(pkt *Packet) {
+	if t.sink == nil {
+		panic("netem: TraceBox.Send before SetSink")
+	}
+	t.admit(pkt)
+	t.arm()
+}
+
+// SendBatch implements Box: the train is admitted in one pass (droptail
+// drops shorten it) and the opportunity timer is armed once. Delivery stays
+// per-opportunity, so a train longer than the current opportunity's capacity
+// is split across opportunities exactly as per-packet sends would be.
+func (t *TraceBox) SendBatch(pkts []*Packet) {
+	if t.sink == nil {
+		panic("netem: TraceBox.Send before SetSink")
+	}
+	for _, pkt := range pkts {
+		t.admit(pkt)
+	}
 	t.arm()
 }
 
@@ -67,7 +86,7 @@ func (t *TraceBox) arm() {
 	t.armed = true
 	now := t.loop.Now()
 	at := t.opps.Next(now)
-	t.loop.ScheduleAt(at, t.fireFn)
+	t.timer.Reset(at - now)
 }
 
 // fire consumes one delivery opportunity: up to MTU bytes of the head
@@ -96,6 +115,10 @@ func (t *TraceBox) fire(sim.Time) {
 
 // SetSink implements Box.
 func (t *TraceBox) SetSink(sink Sink) { t.sink = sink }
+
+// SetBatchSink implements Box (unused: delivery opportunities are distinct
+// instants, so egress is inherently per-packet).
+func (t *TraceBox) SetBatchSink(BatchSink) {}
 
 // Stats implements Box.
 func (t *TraceBox) Stats() BoxStats { return t.stats }

@@ -34,6 +34,38 @@ type Network struct {
 type PoolSet struct {
 	pkts   netem.PacketPool
 	dgFree []*Datagram
+	// batchFree recycles the datagram-batch containers that carry packet
+	// trains across the one delivery event a train shares.
+	batchFree []*dgBatch
+}
+
+// dgBatch is a pooled container for a train's datagrams, the argument of
+// the single delivery event a train costs (instead of one event per
+// packet). The receiving namespace consumes the datagrams in order and
+// recycles the container.
+type dgBatch struct {
+	dgs []*Datagram
+}
+
+// getBatch returns an empty batch container from the pool.
+func (n *Network) getBatch() *dgBatch {
+	free := n.pools.batchFree
+	if ln := len(free); ln > 0 {
+		b := free[ln-1]
+		free[ln-1] = nil
+		n.pools.batchFree = free[:ln-1]
+		return b
+	}
+	return &dgBatch{}
+}
+
+// putBatch recycles a drained batch container.
+func (n *Network) putBatch(b *dgBatch) {
+	for i := range b.dgs {
+		b.dgs[i] = nil
+	}
+	b.dgs = b.dgs[:0]
+	n.pools.batchFree = append(n.pools.batchFree, b)
 }
 
 // NewNetwork creates an empty network on the given event loop, with its
@@ -114,9 +146,17 @@ type Namespace struct {
 	// recvArg and deliverArg are the namespace's receive/deliverLocal
 	// methods pre-bound as ArgHandlers, so the per-packet event-loop hops
 	// (link delivery, loopback sends) schedule without allocating a
-	// closure.
-	recvArg    sim.ArgHandler
-	deliverArg sim.ArgHandler
+	// closure. recvBatchArg is the train analogue: one event delivering a
+	// whole dgBatch.
+	recvArg      sim.ArgHandler
+	deliverArg   sim.ArgHandler
+	recvBatchArg sim.ArgHandler
+	// rxBatchStart/rxBatchEnd bracket a batched train delivery, letting
+	// the namespace's transport (one TCP stack at most) coalesce per-train
+	// work — e.g. one retransmission-timer pass per train instead of per
+	// segment. See SetRxBatchHooks.
+	rxBatchStart func()
+	rxBatchEnd   func()
 }
 
 // NamespaceStats counts traffic seen by a namespace.
@@ -144,7 +184,34 @@ func (n *Network) NewNamespace(name string) *Namespace {
 	}
 	ns.recvArg = func(_ sim.Time, a any) { ns.receive(a.(*Datagram)) }
 	ns.deliverArg = func(_ sim.Time, a any) { ns.deliverLocal(a.(*Datagram)) }
+	ns.recvBatchArg = func(_ sim.Time, a any) { ns.receiveBatch(a.(*dgBatch)) }
 	return ns
+}
+
+// SetRxBatchHooks installs callbacks bracketing each batched train
+// delivery: start fires before the train's first datagram is handed to
+// receive, end after its last. The TCP stack uses the bracket to defer
+// per-segment timer rearms to one pass per train; the hooks must not
+// assume anything about the datagrams in between (forwarded, dropped, or
+// delivered locally).
+func (ns *Namespace) SetRxBatchHooks(start, end func()) {
+	ns.rxBatchStart, ns.rxBatchEnd = start, end
+}
+
+// receiveBatch consumes one delivered train: each datagram goes through
+// the normal receive path, in train order, with nothing in between —
+// exactly the event sequence the per-packet path would have produced.
+func (ns *Namespace) receiveBatch(b *dgBatch) {
+	if ns.rxBatchStart != nil {
+		ns.rxBatchStart()
+	}
+	for _, dg := range b.dgs {
+		ns.receive(dg)
+	}
+	if ns.rxBatchEnd != nil {
+		ns.rxBatchEnd()
+	}
+	ns.net.putBatch(b)
 }
 
 // Name reports the namespace's label.
@@ -381,18 +448,40 @@ func Connect(a, b *Namespace, ab, ba *netem.Pipeline) (*LinkEnd, *LinkEnd) {
 	// (e.g. an application writing from within its data handler must not
 	// observe the next inbound packet before its own handler returns), at
 	// zero virtual-time cost; same-timestamp events preserve FIFO order.
+	// Delivery callbacks are symmetric per direction. Train deliveries
+	// cross into the receiving namespace through one event carrying a
+	// pooled datagram batch; a single-packet train uses the per-packet
+	// path (no container churn). Either way the firing order is identical
+	// to per-packet delivery, because a train's packets are adjacent in
+	// event order by construction.
 	loop := a.net.loop
 	net := a.net
-	ab.SetSink(func(p *netem.Packet) {
-		dg := p.Payload.(*Datagram)
-		net.pools.pkts.Put(p)
-		loop.ScheduleArg(0, b.recvArg, dg)
-	})
-	ba.SetSink(func(p *netem.Packet) {
-		dg := p.Payload.(*Datagram)
-		net.pools.pkts.Put(p)
-		loop.ScheduleArg(0, a.recvArg, dg)
-	})
+	sinks := func(dst *Namespace) (netem.Sink, netem.BatchSink) {
+		sink := func(p *netem.Packet) {
+			dg := p.Payload.(*Datagram)
+			net.pools.pkts.Put(p)
+			loop.ScheduleArg(0, dst.recvArg, dg)
+		}
+		batchSink := func(pkts []*netem.Packet) {
+			if len(pkts) == 1 {
+				sink(pkts[0])
+				return
+			}
+			batch := net.getBatch()
+			for _, p := range pkts {
+				batch.dgs = append(batch.dgs, p.Payload.(*Datagram))
+				net.pools.pkts.Put(p)
+			}
+			loop.ScheduleArg(0, dst.recvBatchArg, batch)
+		}
+		return sink, batchSink
+	}
+	abSink, abBatch := sinks(b)
+	ab.SetSink(abSink)
+	ab.SetBatchSink(abBatch)
+	baSink, baBatch := sinks(a)
+	ba.SetSink(baSink)
+	ba.SetBatchSink(baBatch)
 	a.links = append(a.links, ea)
 	b.links = append(b.links, eb)
 	return ea, eb

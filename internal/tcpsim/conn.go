@@ -133,10 +133,12 @@ type Conn struct {
 
 	// RTO state. rtoTimer is bound once to onRTO and rearmed in place, so
 	// the per-ACK timer reset (the hottest timer path in the simulator)
-	// allocates nothing.
+	// allocates nothing. rtoDirty marks a deferred rearm while a packet
+	// train is being delivered (see Stack.endRxBatch).
 	srtt, rttvar sim.Time
 	rto          sim.Time
 	rtoTimer     sim.Timer
+	rtoDirty     bool
 
 	stats Stats
 
@@ -579,7 +581,7 @@ func (c *Conn) processAck(ack uint64, pureAck bool) {
 		if c.inflight() > 0 {
 			c.armRTO()
 		} else {
-			c.rtoTimer.Stop()
+			c.stopRTO()
 		}
 		c.maybeFinish()
 		return
@@ -700,9 +702,51 @@ func (c *Conn) sampleRTT(r sim.Time) {
 	}
 }
 
-// armRTO (re)starts the retransmission timer.
+// armRTO (re)starts the retransmission timer. While a packet train is
+// being delivered, the rearm is deferred to one per-train pass: every
+// segment of the train arrives at the same virtual instant, and the RTO
+// estimate is only ever changed by a processAck call that immediately
+// rearms, so the train's final (inflight, rto) state fully determines the
+// timer state an undeferred per-segment sequence would have left behind.
 func (c *Conn) armRTO() {
+	if c.stack.rxBatch > 0 {
+		c.deferRTO()
+		return
+	}
 	c.rtoTimer.Reset(c.rto)
+}
+
+// stopRTO stops the retransmission timer (nothing outstanding), with the
+// same per-train deferral as armRTO.
+func (c *Conn) stopRTO() {
+	if c.stack.rxBatch > 0 {
+		c.deferRTO()
+		return
+	}
+	c.rtoTimer.Stop()
+}
+
+// deferRTO records the connection for the end-of-train timer pass.
+func (c *Conn) deferRTO() {
+	if !c.rtoDirty {
+		c.rtoDirty = true
+		c.stack.rtoDirty = append(c.stack.rtoDirty, c)
+	}
+}
+
+// flushRTO brings the timer to its final state after a train: armed with
+// the current estimate while data is outstanding, stopped otherwise. A
+// connection torn down mid-train needs nothing — teardown stopped its
+// timer directly.
+func (c *Conn) flushRTO() {
+	if c.state == StateClosed {
+		return
+	}
+	if c.inflight() > 0 {
+		c.rtoTimer.Reset(c.rto)
+	} else {
+		c.rtoTimer.Stop()
+	}
 }
 
 // onRTO handles a retransmission timeout.

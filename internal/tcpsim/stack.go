@@ -28,6 +28,16 @@ type Stack struct {
 	// between the simulation's stacks (NewStackPool) lets a segment
 	// allocated by one endpoint be reused by the other.
 	segs *SegmentPool
+	// rxBatch is nonzero while a packet train is being delivered to this
+	// stack's namespace (see Namespace.SetRxBatchHooks). During a train,
+	// per-segment retransmission-timer rearms are deferred: each touched
+	// connection is recorded once in rtoDirty and its timer is brought to
+	// its final state in one pass when the train ends — the ACK-clock
+	// analogue of a delayed-ACK aggregation, with identical timer deadlines
+	// (the whole train arrives at one instant and the final RTO estimate is
+	// what an undeferred rearm sequence would also have left armed).
+	rxBatch  int
+	rtoDirty []*Conn
 }
 
 // SegmentPool is a free list of recycled Segments. Like nsim.PoolSet it
@@ -100,7 +110,7 @@ func NewStackPool(ns *nsim.Namespace, segs *SegmentPool) *Stack {
 	if segs == nil {
 		segs = &SegmentPool{}
 	}
-	return &Stack{
+	s := &Stack{
 		ns:        ns,
 		loop:      ns.Network().Loop(),
 		conns:     make(map[fourTuple]*Conn),
@@ -108,6 +118,23 @@ func NewStackPool(ns *nsim.Namespace, segs *SegmentPool) *Stack {
 		boundPort: make(map[uint16]bool),
 		segs:      segs,
 	}
+	ns.SetRxBatchHooks(s.beginRxBatch, s.endRxBatch)
+	return s
+}
+
+// beginRxBatch marks the start of a packet-train delivery.
+func (s *Stack) beginRxBatch() { s.rxBatch++ }
+
+// endRxBatch finishes a train: every connection the train touched gets one
+// final retransmission-timer pass, in the order the train reached them.
+func (s *Stack) endRxBatch() {
+	s.rxBatch--
+	for i, c := range s.rtoDirty {
+		s.rtoDirty[i] = nil
+		c.rtoDirty = false
+		c.flushRTO()
+	}
+	s.rtoDirty = s.rtoDirty[:0]
 }
 
 // Namespace returns the stack's namespace.
