@@ -267,6 +267,60 @@ func BenchmarkAblationTraceBoxQueue(b *testing.B) {
 	}
 }
 
+// BenchmarkQdisc measures the queue-discipline hot path: one op is 64
+// enqueues followed by draining dequeues on a warmed queue, the virtual
+// clock advancing 5 ms per dequeue. Under that schedule the tail of every
+// drain shows CoDel sojourns above target for more than an interval, so
+// the control law's full path — dropping state, square-root spacing,
+// recycle-on-drop — runs every op (asserted below), not just its
+// below-target fast path. Both disciplines must stay at 0 allocs/op — the
+// qdisc boundary sits under every emulated packet. ns/packet (via
+// ReportMetric) is the comparable per-packet cost.
+func BenchmarkQdisc(b *testing.B) {
+	const burst = 64
+	cases := []struct {
+		name string
+		mk   func() netem.Qdisc
+	}{
+		{"droptail", func() netem.Qdisc { return netem.NewDropTail(256, 0) }},
+		{"codel", func() netem.Qdisc { return netem.NewCoDel(netem.CoDelConfig{MaxPackets: 256}) }},
+	}
+	for _, tc := range cases {
+		b.Run(tc.name, func(b *testing.B) {
+			q := tc.mk()
+			pkts := make([]*netem.Packet, burst)
+			for i := range pkts {
+				pkts[i] = &netem.Packet{Size: netem.MTU}
+			}
+			now := sim.Time(0)
+			step := func() {
+				for _, p := range pkts {
+					q.Enqueue(p, now)
+				}
+				// Drain with the clock advancing: late packets in each
+				// burst wait 100ms+ (past CoDel's interval), so the drop
+				// law engages within every op.
+				for {
+					now += 5 * sim.Millisecond
+					if q.Dequeue(now) == nil {
+						break
+					}
+				}
+			}
+			step() // warm the ring to steady-state capacity
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				step()
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(burst*b.N), "ns/packet")
+			if cd, ok := q.(*netem.CoDel); ok && cd.QueueStats().AQMDrops == 0 {
+				b.Fatal("codel bench never exercised the drop law")
+			}
+		})
+	}
+}
+
 // BenchmarkPageLoad measures raw simulator throughput: one full replayed
 // page load per iteration (the unit of work every experiment multiplies).
 func BenchmarkPageLoad(b *testing.B) {

@@ -5,7 +5,8 @@
 //	mm-bench -exp all -parallel 8      # fan cells across 8 workers
 //	mm-bench -exp sweep -delays 30,120,300 -rates 1,14,25 -trials 3
 //
-// Experiments: fig2, table1, table2, fig3, servers, isolation, sweep.
+// Experiments: fig2, table1, table2, fig3, servers, isolation,
+// bufferbloat, sweep.
 // Results print in the paper's layout with the paper's numbers alongside;
 // EXPERIMENTS.md records a reference run.
 //
@@ -30,7 +31,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: fig2|table1|table2|fig3|servers|isolation|sweep|all")
+	exp := flag.String("exp", "all", "experiment: fig2|table1|table2|fig3|servers|isolation|bufferbloat|sweep|all")
 	sites := flag.Int("sites", 0, "override corpus size (0 = experiment default)")
 	loads := flag.Int("loads", 0, "override load count (0 = experiment default)")
 	parallel := flag.Int("parallel", 1, "engine workers (0 = GOMAXPROCS); output is identical at any value")
@@ -39,6 +40,7 @@ func main() {
 	rates := flag.String("rates", "", "sweep: comma-separated link rates in Mbit/s (default 14)")
 	losses := flag.String("losses", "", "sweep: comma-separated loss probabilities (default 0,0.01)")
 	trials := flag.Int("trials", 0, "sweep: jittered loads per (site, stack) cell (0 = default)")
+	bulkMB := flag.Int("bulk-mb", 0, "bufferbloat: competing bulk flow size in MB (0 = default 16)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the selected experiments to this file")
 	memprofile := flag.String("memprofile", "", "write an allocation profile taken after the run to this file")
 	sched := flag.String("sched", "wheel", "event scheduler: wheel (calendar queue of same-deadline runs) or heap (binary min-heap ablation); output is identical under both")
@@ -149,6 +151,15 @@ func main() {
 	run("isolation", func() {
 		fmt.Println(experiments.Isolation(rootSeed(*seed, 5), *parallel))
 	})
+	run("bufferbloat", func() {
+		cfg := experiments.DefaultBufferbloat()
+		cfg.Parallel = *parallel
+		cfg.Seed = rootSeed(*seed, cfg.Seed)
+		if *bulkMB > 0 {
+			cfg.BulkBytes = *bulkMB << 20
+		}
+		fmt.Println(experiments.Bufferbloat(cfg))
+	})
 	run("sweep", func() {
 		cfg := experiments.DefaultSweep()
 		cfg.Parallel = *parallel
@@ -185,10 +196,11 @@ func main() {
 	})
 
 	valid := map[string]bool{"all": true, "fig2": true, "table1": true,
-		"table2": true, "fig3": true, "servers": true, "isolation": true, "sweep": true}
+		"table2": true, "fig3": true, "servers": true, "isolation": true,
+		"sweep": true, "bufferbloat": true}
 	if !valid[*exp] {
 		fmt.Fprintf(os.Stderr, "mm-bench: unknown experiment %q (want %s)\n",
-			*exp, strings.Join([]string{"fig2", "table1", "table2", "fig3", "servers", "isolation", "sweep", "all"}, "|"))
+			*exp, strings.Join([]string{"fig2", "table1", "table2", "fig3", "servers", "isolation", "bufferbloat", "sweep", "all"}, "|"))
 		os.Exit(2)
 	}
 }

@@ -3,6 +3,12 @@
 //
 //	mm-link uplink.trace downlink.trace
 //	mm-link -rate 14 -delay 30            (constant-rate links, no files)
+//	mm-link -rate 14 -uplink-queue codel -downlink-queue codel
+//
+// The queue flags mirror Mahimahi's --uplink-queue/--downlink-queue:
+// droptail (default), infinite, or codel (RFC 8289, parameterized by
+// -codel-target/-codel-interval), with -queue/-queue-bytes bounding the
+// buffer in packets/bytes.
 //
 // Trace files use Mahimahi's format: one millisecond timestamp per line,
 // each line one MTU-sized packet-delivery opportunity.
@@ -15,6 +21,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/netem"
 	"repro/internal/shells"
 	"repro/internal/sim"
 	"repro/internal/trace"
@@ -24,11 +31,32 @@ import (
 func main() {
 	rateMbps := flag.Float64("rate", 0, "constant rate in Mbit/s for both directions (instead of trace files)")
 	delayMS := flag.Int("delay", 0, "additional DelayShell one-way delay, ms")
-	queue := flag.Int("queue", 0, "droptail queue limit in packets (0 = unlimited)")
+	queue := flag.Int("queue", 0, "queue limit in packets (0 = unlimited)")
+	queueBytes := flag.Int("queue-bytes", 0, "queue limit in bytes (0 = unlimited)")
+	upQueue := flag.String("uplink-queue", "droptail", "uplink queue discipline: droptail|infinite|codel")
+	downQueue := flag.String("downlink-queue", "droptail", "downlink queue discipline: droptail|infinite|codel")
+	codelTarget := flag.Int("codel-target", 5, "codel sojourn-time target, ms")
+	codelInterval := flag.Int("codel-interval", 100, "codel control interval, ms")
 	servers := flag.Int("servers", 12, "synthetic origin count")
 	seed := flag.Uint64("seed", 1, "synthesis seed")
 	loads := flag.Int("loads", 1, "number of page loads")
 	flag.Parse()
+
+	mkSpec := func(kind, flagName string) netem.QdiscSpec {
+		switch kind {
+		case netem.QdiscDropTail, netem.QdiscInfinite, netem.QdiscCoDel:
+		default:
+			fatal(fmt.Errorf("unknown %s %q (want droptail|infinite|codel)", flagName, kind))
+		}
+		spec := netem.QdiscSpec{Kind: kind, Packets: *queue, Bytes: *queueBytes}
+		if kind == netem.QdiscCoDel {
+			spec.Target = sim.Time(*codelTarget) * sim.Millisecond
+			spec.Interval = sim.Time(*codelInterval) * sim.Millisecond
+		}
+		return spec
+	}
+	upSpec := mkSpec(*upQueue, "-uplink-queue")
+	downSpec := mkSpec(*downQueue, "-downlink-queue")
 
 	var up, down *trace.Trace
 	var err error
@@ -52,9 +80,11 @@ func main() {
 	}
 	fmt.Printf("uplink %s (%.1f Mbit/s mean), downlink %s (%.1f Mbit/s mean)\n",
 		up.Name(), up.MeanRate()/1e6, down.Name(), down.MeanRate()/1e6)
+	fmt.Printf("queues: uplink %s, downlink %s\n", upSpec, downSpec)
 
 	link := shells.NewLinkShell(up, down)
-	link.QueuePackets = *queue
+	link.UpQueue = upSpec
+	link.DownQueue = downSpec
 	shellList := []shells.Shell{}
 	if *delayMS > 0 {
 		shellList = append(shellList, shells.NewDelayShell(sim.Time(*delayMS)*sim.Millisecond))

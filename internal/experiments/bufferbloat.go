@@ -1,0 +1,274 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/archive"
+	"repro/internal/browser"
+	"repro/internal/netem"
+	"repro/internal/nsim"
+	"repro/internal/replayshell"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/tcpsim"
+	"repro/internal/trace"
+	"repro/internal/webgen"
+)
+
+// BufferbloatConfig declares the bufferbloat experiment: a long bulk TCP
+// flow shares a trace-driven link with a page load, swept over qdisc
+// {droptail-deep, droptail-shallow, codel} × link trace {constant,
+// cellular}. This is the scenario class the qdisc layer exists for — with
+// only droptail queues, self-inflicted queueing delay under deep buffers
+// (and CoDel's answer to it) was unreachable.
+type BufferbloatConfig struct {
+	// Seed roots the scenario matrix and the cellular trace synthesis.
+	Seed uint64
+	// Parallel is the engine worker count (see Runner.Parallel).
+	Parallel int
+	// BulkBytes is the competing long flow's payload size.
+	BulkBytes int
+	// HeadStart is how long the bulk flow runs before the page load
+	// starts, so the measured load meets an already-standing queue.
+	HeadStart sim.Time
+	// DeepPackets and ShallowPackets are the two droptail buffer depths;
+	// the CoDel cell uses the deep physical buffer behind the control law.
+	DeepPackets    int
+	ShallowPackets int
+	// Target and Interval parameterize the CoDel cells (zero = RFC 8289
+	// defaults).
+	Target   sim.Time
+	Interval sim.Time
+	// OneWayDelay is the propagation delay either side of the queue.
+	OneWayDelay sim.Time
+}
+
+// DefaultBufferbloat returns the reference configuration: a 12 Mbit/s
+// link (≈1 packet/ms, so a 600-packet buffer is ≈600 ms of standing
+// delay), a 16 MB bulk flow, and a 3 s head start — long enough that the
+// AQM control loop has converged past the bulk flow's slow-start
+// overshoot before the measured load begins.
+func DefaultBufferbloat() BufferbloatConfig {
+	return BufferbloatConfig{
+		Seed:        11,
+		BulkBytes:   16 << 20,
+		HeadStart:   3 * sim.Second,
+		DeepPackets: 600, ShallowPackets: 32,
+		OneWayDelay: 20 * sim.Millisecond,
+		Parallel:    1,
+	}
+}
+
+// BufferbloatRow is one (link, qdisc) cell's measurements.
+type BufferbloatRow struct {
+	Link  string
+	Qdisc netem.QdiscSpec
+	// PLTms is the page load time under contention.
+	PLTms float64
+	// P95SojournMs and MeanSojournMs summarize the downlink queue's
+	// per-packet queueing delay over the whole run.
+	P95SojournMs  float64
+	MeanSojournMs float64
+	// TailDrops and AQMDrops split the downlink queue's losses by cause.
+	TailDrops, AQMDrops uint64
+	// MaxQueue is the downlink backlog high-water mark in packets.
+	MaxQueue int
+	// BulkBytes is what the competing flow actually moved.
+	BulkBytes int
+}
+
+// BufferbloatResult is the full sweep in grid order (link-major).
+type BufferbloatResult struct {
+	Rows   []BufferbloatRow
+	Target sim.Time // the CoDel target the codel cells ran with
+}
+
+// bufferbloatQdiscs enumerates the qdisc arm of the grid.
+func bufferbloatQdiscs(cfg BufferbloatConfig) []netem.QdiscSpec {
+	return []netem.QdiscSpec{
+		{Packets: cfg.DeepPackets},    // droptail-deep: the bufferbloated buffer
+		{Packets: cfg.ShallowPackets}, // droptail-shallow: low delay, lossy
+		{Kind: netem.QdiscCoDel, Packets: cfg.DeepPackets,
+			Target: cfg.Target, Interval: cfg.Interval}, // AQM on the deep buffer
+	}
+}
+
+// Bufferbloat runs the grid through the scenario-matrix engine. Cells are
+// fully deterministic (the only randomness, the cellular trace, is
+// synthesized once from the root seed), so results are byte-identical at
+// any parallelism — including the codel cells, whose control law runs
+// entirely on the virtual clock.
+func Bufferbloat(cfg BufferbloatConfig) BufferbloatResult {
+	page := webgen.GeneratePage(sim.NewRand(sim.DeriveSeed(cfg.Seed, "page")), webgen.WikiHowLike())
+	site := webgen.Materialize(page)
+	payload := make([]byte, cfg.BulkBytes)
+
+	constUp, err := trace.Constant(12_000_000, 2000)
+	if err != nil {
+		panic("experiments: " + err.Error())
+	}
+	constDown, err := trace.Constant(12_000_000, 2000)
+	if err != nil {
+		panic("experiments: " + err.Error())
+	}
+	cellDown, err := trace.Cellular(sim.NewRand(sim.DeriveSeed(cfg.Seed, "cellular")),
+		6_000_000, 20_000_000, 100, 4000)
+	if err != nil {
+		panic("experiments: " + err.Error())
+	}
+	type link struct {
+		name     string
+		up, down *trace.Trace
+	}
+	links := []link{
+		{"const12", constUp, constDown},
+		{"cellular", constUp, cellDown},
+	}
+	qdiscs := bufferbloatQdiscs(cfg)
+
+	m := &Matrix{Name: "bufferbloat", RootSeed: cfg.Seed}
+	for _, l := range links {
+		for _, spec := range qdiscs {
+			m.Cells = append(m.Cells, Cell{Site: "bloat", Shell: l.name + "+" + spec.String()})
+		}
+	}
+	m.Run = func(i int, c Cell, seed uint64) []float64 {
+		l := links[i/len(qdiscs)]
+		spec := qdiscs[i%len(qdiscs)]
+		return bufferbloatCell(cfg, page, site, payload, l.up, l.down, spec)
+	}
+	results := NewRunner(cfg.Parallel).Run(m)
+
+	target := cfg.Target
+	if target <= 0 {
+		target = netem.DefaultCoDelTarget
+	}
+	out := BufferbloatResult{Target: target}
+	for i, vals := range results {
+		out.Rows = append(out.Rows, BufferbloatRow{
+			Link:          links[i/len(qdiscs)].name,
+			Qdisc:         qdiscs[i%len(qdiscs)],
+			PLTms:         vals[0],
+			P95SojournMs:  vals[1],
+			MeanSojournMs: vals[2],
+			TailDrops:     uint64(vals[3]),
+			AQMDrops:      uint64(vals[4]),
+			MaxQueue:      int(vals[5]),
+			BulkBytes:     int(vals[6]),
+		})
+	}
+	return out
+}
+
+// bufferbloatCell runs one cell: a page load over a shaped link whose
+// downlink qdisc is spec, while a bulk flow from a sink namespace behind
+// the replay servers saturates the same link.
+func bufferbloatCell(cfg BufferbloatConfig, page *webgen.Page, site *archive.Site,
+	payload []byte, up, down *trace.Trace, spec netem.QdiscSpec) []float64 {
+	loop := sim.NewLoop()
+	network := nsim.NewNetwork(loop)
+	replay, err := replayshell.New(network, replayshell.Config{
+		Site: site, DNSLatency: sim.Millisecond, RequestCPU: DefaultRequestCPU,
+	})
+	if err != nil {
+		panic("experiments: " + err.Error())
+	}
+	world := replay.NS
+
+	// app ←(delay, link-up)→ linkNS ←wire→ world, the same chain
+	// shells.Build makes for [DelayShell, LinkShell], but built by hand so
+	// the downlink qdisc can be instrumented before traffic flows.
+	app := network.NewNamespace("app")
+	app.AddAddress(AppAddr)
+	linkNS := network.NewNamespace("link")
+	// Only the downlink discipline is swept: the uplink (requests and
+	// ACKs, a trickle next to the bulk data) keeps the default unbounded
+	// droptail queue so the qdisc arms differ in exactly one variable.
+	upQ := netem.QdiscSpec{}.Build()
+	downQ := spec.Build()
+	// The sojourn histogram covers the whole run: the bulk flow's
+	// slow-start transient, the AQM's converged phase, and the page's own
+	// burst all weigh in, so the percentiles compare what each discipline
+	// does with the same contended seconds.
+	sojourn := stats.NewAccumulator()
+	downQ.QueueStats().RecordSojourn(sojourn)
+	upPipe := netem.NewPipeline(
+		netem.NewDelayBox(loop, cfg.OneWayDelay),
+		netem.NewTraceBox(loop, up.Cursor(), upQ),
+	)
+	downPipe := netem.NewPipeline(
+		netem.NewTraceBox(loop, down.Cursor(), downQ),
+		netem.NewDelayBox(loop, cfg.OneWayDelay),
+	)
+	inEnd, outEnd := nsim.Connect(app, linkNS, upPipe, downPipe)
+	app.AddDefaultRoute(inEnd)
+	linkNS.AddRoute(AppAddr, 32, outEnd)
+	l2w, w2l := nsim.Connect(linkNS, world, nil, nil)
+	linkNS.AddDefaultRoute(l2w)
+	world.AddRoute(AppAddr, 32, w2l)
+
+	// The bulk sink lives in its own namespace one unshaped hop behind the
+	// replay servers, so its data shares the shaped downlink with the page.
+	bulkAddr := nsim.ParseAddr("100.64.0.9")
+	bulkNS := network.NewNamespace("bulk")
+	bulkNS.AddAddress(bulkAddr)
+	b2w, w2b := nsim.Connect(bulkNS, world, nil, nil)
+	bulkNS.AddDefaultRoute(b2w)
+	world.AddRoute(bulkAddr, 32, w2b)
+	bulkAP := nsim.AddrPort{Addr: bulkAddr, Port: 5001}
+	bulkStack := tcpsim.NewStack(bulkNS)
+	if err := bulkStack.Listen(bulkAP, func(c *tcpsim.Conn) {
+		c.OnData(func([]byte) {})
+		c.WriteStable(payload)
+		c.Close()
+	}); err != nil {
+		panic("experiments: " + err.Error())
+	}
+
+	// Client side: the browser's stack also carries the bulk download.
+	stack := tcpsim.NewStack(app)
+	bulkGot := 0
+	loop.Schedule(0, func(sim.Time) {
+		conn, err := stack.Dial(AppAddr, bulkAP)
+		if err != nil {
+			panic("experiments: " + err.Error())
+		}
+		conn.OnData(func(p []byte) { bulkGot += len(p) })
+		conn.Close() // half-close: the server still writes the payload
+	})
+
+	b := browser.New(stack, replay.Resolver, AppAddr, browser.DefaultOptions())
+	var result browser.Result
+	loop.Schedule(cfg.HeadStart, func(sim.Time) {
+		b.Load(page, func(r browser.Result) { result = r })
+	})
+	loop.Run()
+
+	qs := downQ.QueueStats()
+	s := sojourn.Sample()
+	return []float64{
+		result.PLT.Milliseconds(),
+		s.Percentile(95),
+		s.Mean(),
+		float64(qs.TailDrops),
+		float64(qs.AQMDrops),
+		float64(qs.MaxLen),
+		float64(bulkGot),
+	}
+}
+
+// String renders the sweep as a table, one row per (link, qdisc) cell.
+func (r BufferbloatResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Bufferbloat: page load vs a bulk flow through one queue (CoDel target %v)\n", r.Target)
+	fmt.Fprintf(&b, "  %-10s %-16s %9s %8s %8s %7s %7s %7s\n",
+		"link", "qdisc", "PLT ms", "p95q ms", "meanq ms", "taildrp", "aqmdrp", "maxq")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "  %-10s %-16s %9.0f %8.1f %8.1f %7d %7d %7d\n",
+			row.Link, row.Qdisc.String(), row.PLTms, row.P95SojournMs, row.MeanSojournMs,
+			row.TailDrops, row.AQMDrops, row.MaxQueue)
+	}
+	b.WriteString("  -> deep droptail trades delay for loss; CoDel holds queueing delay near target\n")
+	return b.String()
+}

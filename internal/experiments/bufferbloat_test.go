@@ -1,0 +1,103 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/netem"
+)
+
+// bufferbloatTestConfig is the grid the tests run: a shorter bulk flow
+// keeps cells quick, but the full head start stays — the ordering claims
+// are about the AQM's converged behavior, and a short head start would
+// measure its convergence transient instead.
+func bufferbloatTestConfig() BufferbloatConfig {
+	cfg := DefaultBufferbloat()
+	cfg.BulkBytes = 8 << 20
+	return cfg
+}
+
+// TestBufferbloatOrdering pins the experiment's qualitative claims, per
+// link: the deep droptail buffer shows the worst p95 queueing delay
+// (bufferbloat); CoDel on the same deep buffer holds the standing queue —
+// the mean sojourn, which is what the control law regulates; transient
+// bursts are tolerated by design — within a small band around its target,
+// dropping only by control law (never tail); and the shallow droptail
+// bounds delay by construction.
+func TestBufferbloatOrdering(t *testing.T) {
+	cfg := bufferbloatTestConfig()
+	res := Bufferbloat(cfg)
+	if len(res.Rows) != 6 {
+		t.Fatalf("rows = %d, want 6", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if row.PLTms <= 0 {
+			t.Fatalf("%s/%s: page load did not complete (PLT %v)", row.Link, row.Qdisc, row.PLTms)
+		}
+		if row.BulkBytes <= 0 {
+			t.Fatalf("%s/%s: bulk flow moved nothing", row.Link, row.Qdisc)
+		}
+	}
+	for _, link := range []string{"const12", "cellular"} {
+		var deepRow, shallowRow, codelRow BufferbloatRow
+		for _, row := range res.Rows {
+			if row.Link != link {
+				continue
+			}
+			switch {
+			case row.Qdisc.Kind == netem.QdiscCoDel:
+				codelRow = row
+			case row.Qdisc.Packets == cfg.DeepPackets:
+				deepRow = row
+			default:
+				shallowRow = row
+			}
+		}
+		if deepRow.P95SojournMs <= codelRow.P95SojournMs || deepRow.P95SojournMs <= shallowRow.P95SojournMs {
+			t.Errorf("%s: deep droptail p95 %.1fms not the worst (codel %.1f, shallow %.1f)",
+				link, deepRow.P95SojournMs, codelRow.P95SojournMs, shallowRow.P95SojournMs)
+		}
+		// "Target band": within an order of magnitude of the 5 ms target.
+		// The gap above target is slow-start bursts (the bulk flow's and
+		// the page's), which CoDel tolerates by design — it controls the
+		// standing queue, not transients; the contrast is with droptail,
+		// which sustains buffer-bound delay (hundreds of ms here).
+		targetMs := res.Target.Milliseconds()
+		if codelRow.MeanSojournMs > 10*targetMs {
+			t.Errorf("%s: codel mean sojourn %.1fms outside the target band (target %.0fms)",
+				link, codelRow.MeanSojournMs, targetMs)
+		}
+		if codelRow.MeanSojournMs >= deepRow.MeanSojournMs/4 {
+			t.Errorf("%s: codel mean sojourn %.1fms not well below deep droptail %.1fms",
+				link, codelRow.MeanSojournMs, deepRow.MeanSojournMs)
+		}
+		if codelRow.AQMDrops == 0 {
+			t.Errorf("%s: codel never exercised its control law", link)
+		}
+		if codelRow.TailDrops != 0 {
+			t.Errorf("%s: codel tail-dropped %d on a deep buffer", link, codelRow.TailDrops)
+		}
+		if deepRow.AQMDrops != 0 || shallowRow.AQMDrops != 0 {
+			t.Errorf("%s: droptail rows report AQM drops", link)
+		}
+		if shallowRow.TailDrops == 0 {
+			t.Errorf("%s: shallow droptail never dropped under contention", link)
+		}
+	}
+}
+
+// TestBufferbloatDeterministicAcrossParallelism: the bufferbloat artifact
+// — codel control law included — must be byte-identical at any engine
+// parallelism. (The cross-scheduler sweep in sched_determinism_test.go
+// also covers this artifact; this is the fast standalone check.)
+func TestBufferbloatDeterministicAcrossParallelism(t *testing.T) {
+	cfg := bufferbloatTestConfig()
+	cfg.BulkBytes = 2 << 20
+	cfg.Parallel = 1
+	want := Bufferbloat(cfg).String()
+	for _, p := range []int{2, 8} {
+		cfg.Parallel = p
+		if got := Bufferbloat(cfg).String(); got != want {
+			t.Fatalf("artifact differs at parallelism %d:\n%s\nvs\n%s", p, got, want)
+		}
+	}
+}

@@ -57,6 +57,16 @@ var schedArtifacts = map[string]func(parallel int) string{
 		cfg.Parallel = parallel
 		return Sweep(cfg).String()
 	},
+	// The codel cells put the RFC 8289 control law — drop spacing, count
+	// decay, sojourn arithmetic — under the same byte-identity contract as
+	// every droptail artifact.
+	"bufferbloat": func(parallel int) string {
+		cfg := DefaultBufferbloat()
+		cfg.BulkBytes = 2 << 20
+		cfg.HeadStart = 500 * sim.Millisecond
+		cfg.Parallel = parallel
+		return Bufferbloat(cfg).String()
+	},
 }
 
 // TestCrossSchedulerParallelDeterminism is the scheduler-ablation safety

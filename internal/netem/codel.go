@@ -1,0 +1,163 @@
+package netem
+
+import (
+	"math"
+
+	"repro/internal/sim"
+)
+
+// CoDel is the Controlled Delay AQM discipline of RFC 8289, the second
+// queue Mahimahi's mm-link offers (--uplink-queue=codel). Instead of
+// bounding the backlog by size, CoDel bounds the time packets spend in it:
+// when the sojourn time of dequeued packets has stayed above Target for at
+// least one Interval, the discipline enters a dropping state and discards
+// packets at dequeue, spacing successive drops by Interval/sqrt(count) so
+// the drop rate ramps up until the standing queue dissolves.
+//
+// The implementation is a direct transcription of the RFC 8289 appendix
+// pseudocode onto the simulator's virtual clock. Every quantity the control
+// law consumes — enqueue stamps, the dequeue instant, Interval arithmetic —
+// is virtual time, and math.Sqrt is correctly rounded per IEEE 754, so the
+// drop sequence for a given arrival schedule is fully deterministic: the
+// same property that makes every other artifact byte-identical across
+// schedulers and parallelism levels holds for CoDel cells for free. (A
+// kernel CoDel is only approximately reproducible because its clock reads
+// race with packet arrivals.)
+//
+// An optional packet/byte bound models the finite physical buffer behind
+// the control law (tail drops, like droptail); zero bounds mean none.
+type CoDel struct {
+	qdiscBase
+	target     sim.Time
+	interval   sim.Time
+	maxPackets int
+	maxBytes   int
+
+	// Control-law state, named as in RFC 8289.
+	firstAboveTime sim.Time // when sojourn first stayed above target (0 = below)
+	dropNext       sim.Time // next drop instant while in the dropping state
+	count          uint32   // drops since entering the dropping state
+	lastCount      uint32   // count when the dropping state was last exited
+	dropping       bool
+}
+
+// CoDelConfig parameterizes a CoDel queue. Zero Target/Interval select the
+// RFC 8289 defaults (5 ms / 100 ms); zero Max bounds leave the physical
+// buffer unlimited.
+type CoDelConfig struct {
+	Target     sim.Time
+	Interval   sim.Time
+	MaxPackets int
+	MaxBytes   int
+}
+
+// NewCoDel returns a CoDel qdisc.
+func NewCoDel(cfg CoDelConfig) *CoDel {
+	if cfg.Target <= 0 {
+		cfg.Target = DefaultCoDelTarget
+	}
+	if cfg.Interval <= 0 {
+		cfg.Interval = DefaultCoDelInterval
+	}
+	return &CoDel{
+		target: cfg.Target, interval: cfg.Interval,
+		maxPackets: cfg.MaxPackets, maxBytes: cfg.MaxBytes,
+	}
+}
+
+// Target reports the configured sojourn-time target.
+func (q *CoDel) Target() sim.Time { return q.target }
+
+// Interval reports the configured control interval.
+func (q *CoDel) Interval() sim.Time { return q.interval }
+
+// Enqueue implements Qdisc: admission is droptail against the physical
+// bounds; the control law acts only at dequeue.
+func (q *CoDel) Enqueue(pkt *Packet, now sim.Time) bool {
+	return q.boundedEnqueue(pkt, now, q.maxPackets, q.maxBytes)
+}
+
+// doDequeue pops the head and judges it: okToDrop reports that the sojourn
+// time has been above target for a full interval (RFC 8289 dodeque). The
+// popped packet is NOT yet accounted as delivered or dropped — Dequeue
+// decides which.
+func (q *CoDel) doDequeue(now sim.Time) (pkt *Packet, okToDrop bool) {
+	pkt = q.ring.pop()
+	if pkt == nil {
+		q.firstAboveTime = 0
+		return nil, false
+	}
+	sojourn := now - pkt.enq
+	if sojourn < q.target || q.Bytes() <= MTU {
+		// Below target, or the backlog is down to one MTU: leave the
+		// dropping threshold disarmed.
+		q.firstAboveTime = 0
+		return pkt, false
+	}
+	if q.firstAboveTime == 0 {
+		q.firstAboveTime = now + q.interval
+	} else if now >= q.firstAboveTime {
+		okToDrop = true
+	}
+	return pkt, okToDrop
+}
+
+// controlLaw spaces the next drop by interval/sqrt(count), the CoDel
+// square-root schedule that ramps the drop rate while the queue stands.
+func (q *CoDel) controlLaw(t sim.Time) sim.Time {
+	return t + sim.Time(float64(q.interval)/math.Sqrt(float64(q.count)))
+}
+
+// Dequeue implements Qdisc: the RFC 8289 deque state machine. It may drop
+// several packets (recycling each) before returning a survivor.
+func (q *CoDel) Dequeue(now sim.Time) *Packet {
+	pkt, okToDrop := q.doDequeue(now)
+	if pkt == nil {
+		q.dropping = false
+		return nil
+	}
+	if q.dropping {
+		if !okToDrop {
+			// Sojourn fell below target: leave the dropping state.
+			q.dropping = false
+		} else {
+			for q.dropping && now >= q.dropNext {
+				q.aqmDrop(pkt)
+				q.count++
+				pkt, okToDrop = q.doDequeue(now)
+				if pkt == nil {
+					q.dropping = false
+					return nil
+				}
+				if !okToDrop {
+					q.dropping = false
+				} else {
+					q.dropNext = q.controlLaw(q.dropNext)
+				}
+			}
+		}
+	} else if okToDrop {
+		// Enter the dropping state: drop this packet and deliver the next.
+		q.aqmDrop(pkt)
+		pkt, _ = q.doDequeue(now)
+		q.dropping = true
+		// If we were dropping recently, start the drop rate near where it
+		// left off instead of from 1 (RFC 8289 deque, the "count decay").
+		delta := q.count - q.lastCount
+		if delta > 1 && now-q.dropNext < 16*q.interval {
+			q.count = delta
+		} else {
+			q.count = 1
+		}
+		q.dropNext = q.controlLaw(now)
+		q.lastCount = q.count
+		if pkt == nil {
+			q.dropping = false
+			return nil
+		}
+	}
+	// Deliver the survivor.
+	q.stats.Dequeued++
+	q.stats.noteSojourn(now - pkt.enq)
+	return pkt
+}

@@ -312,61 +312,53 @@ func (l *LossBox) Stats() BoxStats { return l.stats }
 // links, and is used by the ablation benches to validate TraceBox's
 // constant-rate traces against first principles.
 //
-// A train entering the box is admitted in one call and each packet's exit
-// time is precomputed at admission (exit_i = exit_{i-1} + size_i*8/rate):
-// the serialization schedule of a burst is fully determined the moment it
-// joins the queue. One rearmable timer walks the schedule, so draining a
-// burst allocates no event slots; exits remain distinct instants, exactly
-// as a store-and-forward transmitter behaves.
+// A train entering the box is admitted to the qdisc in one pass, then the
+// transmitter is started once; a single rearmable timer walks the
+// serialization schedule. Each packet's exit time is computed when it is
+// committed to the transmitter (exit = start + size*8/rate, with start the
+// previous packet's exit while the link is busy) — identical timing to an
+// admission-time schedule for FIFO queues, but correct under disciplines
+// that drop at dequeue (CoDel), where an admission-time schedule would
+// leave the link idling through the dropped packets' slots.
 type RateBox struct {
 	loop    *sim.Loop
 	bps     int64 // bits per second
-	busyTil sim.Time
-	queue   *DropTail
+	queue   Qdisc
 	sink    Sink
 	stats   BoxStats
 	sending bool
 	cur     *Packet   // packet occupying the transmitter
-	timer   sim.Timer // finish timer, rearmed across the precomputed schedule
+	timer   sim.Timer // finish timer, rearmed across the schedule
 }
 
 // NewRateBox returns a fixed-rate box. bitsPerSec must be positive. queue
-// bounds the backlog; pass nil for an unbounded queue.
-func NewRateBox(loop *sim.Loop, bitsPerSec int64, queue *DropTail) *RateBox {
+// is the queue discipline bounding the backlog; pass nil for an unbounded
+// (infinite) queue.
+func NewRateBox(loop *sim.Loop, bitsPerSec int64, queue Qdisc) *RateBox {
 	if bitsPerSec <= 0 {
 		panic(fmt.Sprintf("netem: non-positive rate %d", bitsPerSec))
 	}
 	if queue == nil {
-		queue = NewDropTail(0, 0)
+		queue = NewInfinite()
 	}
 	r := &RateBox{loop: loop, bps: bitsPerSec, queue: queue}
 	r.timer = loop.NewTimer(r.finish)
 	return r
 }
 
+// Queue exposes the box's queue discipline, for telemetry.
+func (r *RateBox) Queue() Qdisc { return r.queue }
+
 // transmitTime is the serialization delay of a packet at the box's rate.
 func (r *RateBox) transmitTime(size int) sim.Time {
 	return sim.Time(int64(size) * 8 * int64(sim.Second) / r.bps)
 }
 
-// admit queues one packet and stamps its precomputed exit time.
+// admit queues one packet; the qdisc tail-drops (and recycles) on overflow.
 func (r *RateBox) admit(pkt *Packet) {
 	r.stats.Arrived++
 	r.stats.ArrivedBytes += uint64(pkt.Size)
-	if !r.queue.Push(pkt) {
-		r.stats.Dropped++
-		return
-	}
-	now := r.loop.Now()
-	if r.busyTil < now {
-		r.busyTil = now
-	}
-	r.busyTil += r.transmitTime(pkt.Size)
-	pkt.exit = r.busyTil
-	if r.stats.QueueLen = r.queue.Len(); r.stats.QueueLen > r.stats.MaxQueueLen {
-		r.stats.MaxQueueLen = r.stats.QueueLen
-	}
-	r.stats.QueueBytes = r.queue.Bytes()
+	r.queue.Enqueue(pkt, r.loop.Now())
 }
 
 // Send implements Box.
@@ -380,8 +372,8 @@ func (r *RateBox) Send(pkt *Packet) {
 	}
 }
 
-// SendBatch implements Box: the whole train is admitted (and its exit
-// schedule fixed) in one pass, then the transmitter is started once.
+// SendBatch implements Box: the whole train is admitted in one pass, then
+// the transmitter is started once.
 func (r *RateBox) SendBatch(pkts []*Packet) {
 	if r.sink == nil {
 		panic("netem: RateBox.Send before SetSink")
@@ -394,15 +386,19 @@ func (r *RateBox) SendBatch(pkts []*Packet) {
 	}
 }
 
+// startNext commits the next packet to the transmitter. The qdisc's drop
+// law runs here: startNext is only ever called when the transmitter is
+// idle (from Send) or has just finished (from finish), so the dequeue
+// instant is the packet's serialization start.
 func (r *RateBox) startNext() {
-	pkt := r.queue.Pop()
+	pkt := r.queue.Dequeue(r.loop.Now())
 	if pkt == nil {
 		r.sending = false
 		return
 	}
 	r.sending = true
 	r.cur = pkt
-	r.timer.Reset(pkt.exit - r.loop.Now())
+	r.timer.Reset(r.transmitTime(pkt.Size))
 }
 
 // finish completes the current packet's serialization and starts the next.
@@ -411,8 +407,6 @@ func (r *RateBox) finish(sim.Time) {
 	r.cur = nil
 	r.stats.Delivered++
 	r.stats.DeliveredBytes += uint64(pkt.Size)
-	r.stats.QueueLen = r.queue.Len()
-	r.stats.QueueBytes = r.queue.Bytes()
 	r.sink(pkt)
 	r.startNext()
 }
@@ -424,5 +418,25 @@ func (r *RateBox) SetSink(sink Sink) { r.sink = sink }
 // instants, so egress is inherently per-packet).
 func (r *RateBox) SetBatchSink(BatchSink) {}
 
-// Stats implements Box.
-func (r *RateBox) Stats() BoxStats { return r.stats }
+// Stats implements Box: queue gauges and drop counts are read through from
+// the shared QueueStats, so the batch and single-packet paths can never
+// disagree.
+func (r *RateBox) Stats() BoxStats {
+	st := r.stats
+	qs := r.queue.QueueStats()
+	st.Dropped = qs.Drops()
+	st.QueueLen = r.queue.Len()
+	st.QueueBytes = r.queue.Bytes()
+	st.MaxQueueLen = qs.MaxLen
+	if r.cur != nil {
+		st.QueueLen++
+		st.QueueBytes += r.cur.Size
+	}
+	// The in-service packet counts toward the instantaneous backlog but
+	// the qdisc's enqueue-time high-water mark never saw it; keep the
+	// gauge pair consistent (max >= current).
+	if st.QueueLen > st.MaxQueueLen {
+		st.MaxQueueLen = st.QueueLen
+	}
+	return st
+}

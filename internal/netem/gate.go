@@ -9,8 +9,9 @@ import (
 // GateBox models an intermittent link (Mahimahi's mm-onoff extension):
 // the link alternates between on-periods, during which packets pass
 // through immediately, and off-periods, during which arriving packets are
-// held in a queue. When the link comes back on, held packets are released
-// in order.
+// held in a queue discipline. When the link comes back on, held packets
+// are released in order; the qdisc's drop law runs at that drain, so a
+// CoDel outage queue sheds the stale backlog instead of replaying it.
 //
 // Period lengths can be jittered by a seeded RNG so that on/off phases do
 // not align across runs unless desired.
@@ -21,7 +22,7 @@ type GateBox struct {
 	jitter    float64 // fraction of period length, 0 = strictly periodic
 	rng       *sim.Rand
 	isOn      bool
-	queue     *DropTail
+	queue     Qdisc
 	sink      Sink
 	batchSink BatchSink
 	stats     BoxStats
@@ -31,9 +32,9 @@ type GateBox struct {
 
 // NewGateBox returns an intermittent-link box that starts in the on state.
 // on and off are the nominal period lengths; jitter (in [0,1)) randomizes
-// each period's length by ±jitter. queue bounds packets held during off
-// periods (nil = unbounded).
-func NewGateBox(loop *sim.Loop, on, off sim.Time, jitter float64, rng *sim.Rand, queue *DropTail) *GateBox {
+// each period's length by ±jitter. queue is the discipline holding packets
+// during off periods (nil = unbounded).
+func NewGateBox(loop *sim.Loop, on, off sim.Time, jitter float64, rng *sim.Rand, queue Qdisc) *GateBox {
 	if on <= 0 || off < 0 {
 		panic(fmt.Sprintf("netem: invalid gate periods on=%v off=%v", on, off))
 	}
@@ -41,7 +42,7 @@ func NewGateBox(loop *sim.Loop, on, off sim.Time, jitter float64, rng *sim.Rand,
 		panic("netem: GateBox jitter requires an RNG")
 	}
 	if queue == nil {
-		queue = NewDropTail(0, 0)
+		queue = NewInfinite()
 	}
 	g := &GateBox{loop: loop, on: on, off: off, jitter: jitter, rng: rng, isOn: true, queue: queue}
 	g.flipFn = g.flip
@@ -53,6 +54,9 @@ func NewGateBox(loop *sim.Loop, on, off sim.Time, jitter float64, rng *sim.Rand,
 
 // On reports whether the link is currently passing traffic.
 func (g *GateBox) On() bool { return g.isOn }
+
+// Queue exposes the box's queue discipline, for telemetry.
+func (g *GateBox) Queue() Qdisc { return g.queue }
 
 func (g *GateBox) period(nominal sim.Time) sim.Time {
 	if g.jitter <= 0 {
@@ -67,10 +71,11 @@ func (g *GateBox) flip(sim.Time) {
 		// Link restored: drain everything held during the outage. The
 		// backlog leaves at one instant with nothing interleaved, so it
 		// continues downstream as a single train when possible.
+		now := g.loop.Now()
 		if g.batchSink != nil && g.queue.Len() > 1 {
 			drain := g.drain[:0]
 			for {
-				pkt := g.queue.Pop()
+				pkt := g.queue.Dequeue(now)
 				if pkt == nil {
 					break
 				}
@@ -78,14 +83,16 @@ func (g *GateBox) flip(sim.Time) {
 				g.stats.DeliveredBytes += uint64(pkt.Size)
 				drain = append(drain, pkt)
 			}
-			g.batchSink(drain)
+			if len(drain) > 0 {
+				g.batchSink(drain)
+			}
 			for i := range drain {
 				drain[i] = nil
 			}
 			g.drain = drain[:0]
 		} else {
 			for {
-				pkt := g.queue.Pop()
+				pkt := g.queue.Dequeue(now)
 				if pkt == nil {
 					break
 				}
@@ -115,13 +122,7 @@ func (g *GateBox) Send(pkt *Packet) {
 		g.deliver(pkt)
 		return
 	}
-	if !g.queue.Push(pkt) {
-		g.stats.Dropped++
-		return
-	}
-	if g.stats.QueueLen = g.queue.Len(); g.stats.QueueLen > g.stats.MaxQueueLen {
-		g.stats.MaxQueueLen = g.stats.QueueLen
-	}
+	g.queue.Enqueue(pkt, g.loop.Now())
 }
 
 // SendBatch implements Box: an on-state train passes through as a train;
@@ -151,10 +152,15 @@ func (g *GateBox) SetSink(sink Sink) { g.sink = sink }
 // SetBatchSink implements Box.
 func (g *GateBox) SetBatchSink(sink BatchSink) { g.batchSink = sink }
 
-// Stats implements Box.
+// Stats implements Box: queue gauges and drop counts are read through from
+// the shared QueueStats, so the batch and single-packet paths can never
+// disagree.
 func (g *GateBox) Stats() BoxStats {
 	st := g.stats
+	qs := g.queue.QueueStats()
+	st.Dropped = qs.Drops()
 	st.QueueLen = g.queue.Len()
 	st.QueueBytes = g.queue.Bytes()
+	st.MaxQueueLen = qs.MaxLen
 	return st
 }

@@ -232,25 +232,49 @@ func TestRateBoxInvalidRatePanics(t *testing.T) {
 
 func TestDropTailLimits(t *testing.T) {
 	q := NewDropTail(2, 0)
-	if !q.Push(&Packet{Size: 1}) || !q.Push(&Packet{Size: 2}) {
-		t.Fatal("pushes under limit failed")
+	if !q.Enqueue(&Packet{Size: 1}, 0) || !q.Enqueue(&Packet{Size: 2}, 0) {
+		t.Fatal("enqueues under limit failed")
 	}
-	if q.Push(&Packet{Size: 3}) {
-		t.Fatal("push over packet limit succeeded")
+	if q.Enqueue(&Packet{Size: 3}, 0) {
+		t.Fatal("enqueue over packet limit succeeded")
 	}
 	if q.Dropped() != 1 {
 		t.Fatalf("Dropped = %d, want 1", q.Dropped())
 	}
+	if qs := q.QueueStats(); qs.TailDrops != 1 || qs.AQMDrops != 0 || qs.Enqueued != 2 {
+		t.Fatalf("queue stats = %+v", qs)
+	}
 
 	qb := NewDropTail(0, 100)
-	if !qb.Push(&Packet{Size: 60}) {
-		t.Fatal("push under byte limit failed")
+	if !qb.Enqueue(&Packet{Size: 60}, 0) {
+		t.Fatal("enqueue under byte limit failed")
 	}
-	if qb.Push(&Packet{Size: 50}) {
-		t.Fatal("push over byte limit succeeded")
+	if qb.Enqueue(&Packet{Size: 50}, 0) {
+		t.Fatal("enqueue over byte limit succeeded")
 	}
-	if !qb.Push(&Packet{Size: 40}) {
-		t.Fatal("push exactly at byte limit failed")
+	if !qb.Enqueue(&Packet{Size: 40}, 0) {
+		t.Fatal("enqueue exactly at byte limit failed")
+	}
+}
+
+// A packet larger than the byte bound can never be admitted — not even
+// into an empty queue — and each attempt is a tail drop, not an error.
+func TestDropTailOversizedVsByteBound(t *testing.T) {
+	q := NewDropTail(0, 1000)
+	if q.Enqueue(&Packet{Size: 1500}, 0) {
+		t.Fatal("oversized packet admitted into empty byte-bounded queue")
+	}
+	if q.Len() != 0 || q.Bytes() != 0 {
+		t.Fatalf("after oversized drop Len=%d Bytes=%d", q.Len(), q.Bytes())
+	}
+	if !q.Enqueue(&Packet{Size: 900}, 0) {
+		t.Fatal("fitting packet rejected after oversized drop")
+	}
+	if q.Enqueue(&Packet{Size: 1500}, 0) {
+		t.Fatal("oversized packet admitted into non-empty queue")
+	}
+	if qs := q.QueueStats(); qs.TailDrops != 2 || qs.Enqueued != 1 {
+		t.Fatalf("queue stats = %+v", qs)
 	}
 }
 
@@ -258,19 +282,52 @@ func TestDropTailFIFOAndCompaction(t *testing.T) {
 	q := NewDropTail(0, 0)
 	const n = 1000
 	for i := 0; i < n; i++ {
-		q.Push(&Packet{Size: 1, Seq: int64(i)})
+		q.Enqueue(&Packet{Size: 1, Seq: int64(i)}, 0)
 	}
 	for i := 0; i < n; i++ {
-		p := q.Pop()
+		p := q.Dequeue(0)
 		if p == nil || p.Seq != int64(i) {
-			t.Fatalf("pop %d returned %v", i, p)
+			t.Fatalf("dequeue %d returned %v", i, p)
 		}
 	}
-	if q.Pop() != nil {
-		t.Fatal("pop from empty returned packet")
+	if q.Dequeue(0) != nil {
+		t.Fatal("dequeue from empty returned packet")
 	}
 	if q.Len() != 0 || q.Bytes() != 0 {
 		t.Fatalf("empty queue Len=%d Bytes=%d", q.Len(), q.Bytes())
+	}
+}
+
+// Sustained churn with a standing backlog exercises ring compaction (the
+// dead prefix is trimmed once it dominates): FIFO order and byte gauges
+// must survive arbitrarily long push/pop interleavings.
+func TestRingCompactionUnderChurn(t *testing.T) {
+	q := NewDropTail(0, 0)
+	next, out := int64(0), int64(0)
+	bytes := 0
+	const standing = 37 // awkward non-power-of-two backlog
+	for round := 0; round < 3000; round++ {
+		for q.Len() < standing {
+			q.Enqueue(&Packet{Size: int(next%7) + 1, Seq: next}, 0)
+			bytes += int(next%7) + 1
+			next++
+		}
+		for i := 0; i < 11; i++ {
+			p := q.Dequeue(0)
+			if p == nil || p.Seq != out {
+				t.Fatalf("round %d: dequeue returned %v, want seq %d", round, p, out)
+			}
+			bytes -= p.Size
+			out++
+		}
+		if q.Bytes() != bytes {
+			t.Fatalf("round %d: Bytes=%d want %d", round, q.Bytes(), bytes)
+		}
+	}
+	// The backing slice must stay bounded: compaction keeps it within a
+	// small multiple of the standing backlog, not the total throughput.
+	if cap(q.ring.pkts) > 16*standing {
+		t.Fatalf("ring never compacted: cap=%d for standing backlog %d", cap(q.ring.pkts), standing)
 	}
 }
 
@@ -280,7 +337,7 @@ func TestDropTailPeek(t *testing.T) {
 		t.Fatal("peek on empty returned packet")
 	}
 	p := &Packet{Size: 5}
-	q.Push(p)
+	q.Enqueue(p, 0)
 	if q.Peek() != p {
 		t.Fatal("peek did not return head")
 	}
@@ -289,7 +346,7 @@ func TestDropTailPeek(t *testing.T) {
 	}
 }
 
-// Property: interleaved push/pop keeps byte accounting exact.
+// Property: interleaved enqueue/dequeue keeps byte accounting exact.
 func TestDropTailByteAccounting(t *testing.T) {
 	f := func(ops []uint8) bool {
 		q := NewDropTail(0, 0)
@@ -297,7 +354,7 @@ func TestDropTailByteAccounting(t *testing.T) {
 		var sizes []int
 		for _, op := range ops {
 			if op%3 == 0 && len(sizes) > 0 {
-				p := q.Pop()
+				p := q.Dequeue(0)
 				if p == nil {
 					return false
 				}
@@ -305,7 +362,7 @@ func TestDropTailByteAccounting(t *testing.T) {
 				sizes = sizes[1:]
 			} else {
 				size := int(op) + 1
-				q.Push(&Packet{Size: size})
+				q.Enqueue(&Packet{Size: size}, 0)
 				sizes = append(sizes, size)
 				want += size
 			}
@@ -317,6 +374,30 @@ func TestDropTailByteAccounting(t *testing.T) {
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// Dropping at the qdisc boundary must recycle pooled packets into their
+// origin pool; hand-built packets are left to the garbage collector.
+func TestQdiscDropRecyclesPooledPackets(t *testing.T) {
+	var pool PacketPool
+	q := NewDropTail(1, 0)
+	keeper := pool.Get()
+	keeper.Size = 10
+	victim := pool.Get()
+	victim.Size = 20
+	q.Enqueue(keeper, 0)
+	if q.Enqueue(victim, 0) {
+		t.Fatal("enqueue over limit succeeded")
+	}
+	if got := pool.Get(); got != victim {
+		t.Fatalf("dropped packet not recycled: pool returned %p, want %p", got, victim)
+	}
+	// The hand-built path must not panic or pollute the pool.
+	q2 := NewDropTail(0, 5)
+	q2.Enqueue(&Packet{Size: 50}, 0)
+	if got := pool.Get(); got == victim {
+		t.Fatal("hand-built drop reached the pool")
 	}
 }
 

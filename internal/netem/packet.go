@@ -41,20 +41,24 @@ type Packet struct {
 	// Sent is the virtual time the packet entered the current box. Boxes
 	// update it on ingress.
 	Sent sim.Time
-	// exit is the packet's precomputed departure time from the box
-	// currently holding it (RateBox's serialization schedule).
-	exit sim.Time
+	// enq is the virtual time the packet entered the qdisc currently
+	// holding it, stamped by Qdisc.Enqueue; sojourn-time AQM (CoDel) and
+	// per-queue delay telemetry read it at dequeue.
+	enq sim.Time
 	// Payload is opaque transport data (e.g. a *tcpsim.Segment).
 	Payload any
-	// pooled marks packets allocated from a PacketPool; only those are
-	// recycled by Put. Hand-built packets (tests, benches) are ignored.
+	// pool is the packet's origin pool (nil for hand-built packets), so a
+	// drop anywhere in the data plane can recycle without knowing the
+	// topology; pooled marks pool-allocated packets.
+	pool   *PacketPool
 	pooled bool
 }
 
 // PacketPool recycles Packets within one event loop. The simulation is
 // single-goroutine per loop, so the free list needs no synchronization.
-// Packets dropped inside a box (loss, queue overflow) are simply never
-// returned to the pool and fall to the garbage collector.
+// Packets dropped by a qdisc are recycled at the qdisc boundary
+// (Packet.Recycle); packets dropped elsewhere (probabilistic loss) fall to
+// the garbage collector.
 type PacketPool struct {
 	free []*Packet
 }
@@ -67,7 +71,7 @@ func (pp *PacketPool) Get() *Packet {
 		pp.free = pp.free[:n-1]
 		return pkt
 	}
-	return &Packet{pooled: true}
+	return &Packet{pooled: true, pool: pp}
 }
 
 // Put recycles a pool-allocated packet. The caller must be done with the
@@ -76,8 +80,23 @@ func (pp *PacketPool) Put(pkt *Packet) {
 	if pkt == nil || !pkt.pooled {
 		return
 	}
-	*pkt = Packet{pooled: true}
+	*pkt = Packet{pooled: true, pool: pp}
 	pp.free = append(pp.free, pkt)
+}
+
+// Recycle returns a pool-allocated packet to its origin pool; hand-built
+// packets (tests, benches) are ignored. Qdiscs call this for every packet
+// they drop, so no queue discipline can leak pooled packets.
+//
+// Only the Packet itself is recycled: a pooled transport payload (an
+// nsim.Datagram and any segment it references) still falls to the garbage
+// collector on drop, as it did before the qdisc layer existed — releasing
+// it safely needs a drop-release chain through the transport's refcounts
+// (ROADMAP, per-flow follow-ons).
+func (p *Packet) Recycle() {
+	if p != nil && p.pool != nil {
+		p.pool.Put(p)
+	}
 }
 
 // String formats a short description of the packet for debug output.

@@ -1,0 +1,302 @@
+package netem
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// Qdisc is a queue discipline: the pluggable buffer in front of an emulated
+// link's transmitter. Mahimahi's mm-link shapes traffic through exactly this
+// abstraction (infinite, droptail, and CoDel queues selected per direction);
+// every queue-owning box — TraceBox, RateBox, GateBox — consumes a Qdisc
+// instead of a concrete queue type.
+//
+// The contract mirrors a kernel qdisc:
+//
+//   - Enqueue stamps the packet with its arrival time and either admits it
+//     or tail-drops it (returning false). A dropped packet is recycled at
+//     the qdisc boundary (Packet.Recycle), so no discipline can leak pooled
+//     packets back to the garbage collector.
+//   - Dequeue removes and returns the next packet to transmit at virtual
+//     time now, applying the discipline's drop law first (CoDel may discard
+//     several stale packets before surfacing one). The survivor's sojourn
+//     time — now minus its enqueue stamp — is recorded in QueueStats.
+//   - Len/Bytes report the instantaneous backlog; QueueStats exposes the
+//     cumulative drop/sojourn telemetry every discipline maintains
+//     identically.
+//
+// Qdiscs are passive: they never schedule events, so their drop laws run
+// entirely on the virtual clock and determinism is free.
+type Qdisc interface {
+	// Enqueue admits pkt at virtual time now; false reports a tail drop
+	// (the packet has been recycled and must not be used afterwards).
+	Enqueue(pkt *Packet, now sim.Time) bool
+	// Dequeue removes and returns the next deliverable packet at now, or
+	// nil when the queue is (or drains) empty. AQM drops happen inside.
+	Dequeue(now sim.Time) *Packet
+	// Peek returns the head packet without removing or judging it, or nil.
+	Peek() *Packet
+	// Len reports the number of queued packets.
+	Len() int
+	// Bytes reports the number of queued bytes.
+	Bytes() int
+	// QueueStats exposes the discipline's cumulative telemetry.
+	QueueStats() *QueueStats
+	// Dropped reports the cumulative number of dropped packets (tail + AQM),
+	// the figure boxes surface as BoxStats.Dropped.
+	Dropped() uint64
+}
+
+// QueueStats is the unified per-queue telemetry every discipline maintains,
+// so TraceBox, RateBox and GateBox report identically regardless of the
+// qdisc behind them.
+type QueueStats struct {
+	// Enqueued counts packets admitted; Dequeued counts packets handed to
+	// the transmitter.
+	Enqueued uint64
+	Dequeued uint64
+	// TailDrops counts packets rejected at Enqueue (buffer full); AQMDrops
+	// counts packets discarded by the discipline's control law at Dequeue
+	// (CoDel). Droptail queues only ever tail-drop.
+	TailDrops uint64
+	AQMDrops  uint64
+	// MaxLen and MaxBytes are backlog high-water marks, updated at Enqueue.
+	MaxLen   int
+	MaxBytes int
+	// Sojourn summary over dequeued (delivered) packets: count, sum and
+	// max of time spent queued. These fixed fields keep the hot path
+	// allocation-free; attach an Accumulator via RecordSojourn for a full
+	// distribution.
+	SojournCount uint64
+	SojournSum   sim.Time
+	SojournMax   sim.Time
+
+	hist *stats.Accumulator
+}
+
+// Drops reports total packets dropped by the discipline.
+func (s *QueueStats) Drops() uint64 { return s.TailDrops + s.AQMDrops }
+
+// MeanSojourn reports the mean queueing delay of dequeued packets.
+func (s *QueueStats) MeanSojourn() sim.Time {
+	if s.SojournCount == 0 {
+		return 0
+	}
+	return s.SojournSum / sim.Time(s.SojournCount)
+}
+
+// RecordSojourn attaches an accumulator that receives every dequeued
+// packet's sojourn time in milliseconds, for percentile reporting (the
+// bufferbloat experiment's p95 queueing delay). Pass nil to detach. The
+// summary fields are maintained either way.
+func (s *QueueStats) RecordSojourn(h *stats.Accumulator) { s.hist = h }
+
+// noteSojourn records one dequeued packet's queueing delay.
+func (s *QueueStats) noteSojourn(d sim.Time) {
+	s.SojournCount++
+	s.SojournSum += d
+	if d > s.SojournMax {
+		s.SojournMax = d
+	}
+	if s.hist != nil {
+		s.hist.Add(d.Milliseconds())
+	}
+}
+
+// pktRing is the FIFO storage shared by every queue discipline: an
+// append-only slice with a dead-prefix head index, compacted once the dead
+// prefix dominates so memory stays bounded under sustained churn.
+type pktRing struct {
+	pkts  []*Packet
+	head  int
+	bytes int
+}
+
+func (r *pktRing) push(pkt *Packet) {
+	r.pkts = append(r.pkts, pkt)
+	r.bytes += pkt.Size
+}
+
+func (r *pktRing) pop() *Packet {
+	if r.len() == 0 {
+		return nil
+	}
+	pkt := r.pkts[r.head]
+	r.pkts[r.head] = nil
+	r.head++
+	r.bytes -= pkt.Size
+	// Compact once the dead prefix dominates, to bound memory.
+	if r.head > 64 && r.head*2 >= len(r.pkts) {
+		n := copy(r.pkts, r.pkts[r.head:])
+		r.pkts = r.pkts[:n]
+		r.head = 0
+	}
+	return pkt
+}
+
+func (r *pktRing) peek() *Packet {
+	if r.len() == 0 {
+		return nil
+	}
+	return r.pkts[r.head]
+}
+
+func (r *pktRing) len() int { return len(r.pkts) - r.head }
+
+// qdiscBase bundles the ring and the telemetry shared by all disciplines.
+type qdiscBase struct {
+	ring  pktRing
+	stats QueueStats
+}
+
+// admit stamps and stores one packet, maintaining the shared gauges. Every
+// discipline's Enqueue funnels through here, which is what keeps the batch
+// (SendBatch) and single-packet box paths in agreement: there is exactly
+// one place queue gauges are updated.
+func (b *qdiscBase) admit(pkt *Packet, now sim.Time) {
+	pkt.enq = now
+	b.ring.push(pkt)
+	b.stats.Enqueued++
+	if n := b.ring.len(); n > b.stats.MaxLen {
+		b.stats.MaxLen = n
+	}
+	if b.ring.bytes > b.stats.MaxBytes {
+		b.stats.MaxBytes = b.ring.bytes
+	}
+}
+
+// take removes the head and records its sojourn as a delivery.
+func (b *qdiscBase) take(now sim.Time) *Packet {
+	pkt := b.ring.pop()
+	if pkt == nil {
+		return nil
+	}
+	b.stats.Dequeued++
+	b.stats.noteSojourn(now - pkt.enq)
+	return pkt
+}
+
+// tailDrop rejects a packet at the enqueue boundary and recycles it.
+func (b *qdiscBase) tailDrop(pkt *Packet) {
+	b.stats.TailDrops++
+	pkt.Recycle()
+}
+
+// boundedEnqueue is the shared droptail admission law: admit unless either
+// bound (0 = unlimited) would be exceeded, tail-dropping otherwise. Both
+// DropTail and CoDel's physical buffer go through here, so the admission
+// rule cannot diverge between disciplines.
+func (b *qdiscBase) boundedEnqueue(pkt *Packet, now sim.Time, maxPackets, maxBytes int) bool {
+	if maxPackets > 0 && b.ring.len() >= maxPackets {
+		b.tailDrop(pkt)
+		return false
+	}
+	if maxBytes > 0 && b.ring.bytes+pkt.Size > maxBytes {
+		b.tailDrop(pkt)
+		return false
+	}
+	b.admit(pkt, now)
+	return true
+}
+
+// aqmDrop discards a queued packet by control-law decision and recycles it.
+func (b *qdiscBase) aqmDrop(pkt *Packet) {
+	b.stats.AQMDrops++
+	pkt.Recycle()
+}
+
+// Peek implements Qdisc.
+func (b *qdiscBase) Peek() *Packet { return b.ring.peek() }
+
+// Len implements Qdisc.
+func (b *qdiscBase) Len() int { return b.ring.len() }
+
+// Bytes implements Qdisc.
+func (b *qdiscBase) Bytes() int { return b.ring.bytes }
+
+// QueueStats implements Qdisc.
+func (b *qdiscBase) QueueStats() *QueueStats { return &b.stats }
+
+// Dropped implements Qdisc.
+func (b *qdiscBase) Dropped() uint64 { return b.stats.Drops() }
+
+// Qdisc kind names, as spelled on Mahimahi's --uplink-queue/--downlink-queue
+// command lines.
+const (
+	QdiscDropTail = "droptail"
+	QdiscInfinite = "infinite"
+	QdiscCoDel    = "codel"
+)
+
+// CoDel defaults per RFC 8289 §4.2–4.3.
+const (
+	DefaultCoDelTarget   = 5 * sim.Millisecond
+	DefaultCoDelInterval = 100 * sim.Millisecond
+)
+
+// QdiscSpec declaratively selects and parameterizes a queue discipline, the
+// value plumbed from CLI flags through shells.LinkShell down to the boxes.
+// The zero spec builds an unbounded droptail queue, Mahimahi's default.
+type QdiscSpec struct {
+	// Kind is "", QdiscDropTail, QdiscInfinite or QdiscCoDel; empty means
+	// droptail.
+	Kind string
+	// Packets and Bytes bound the backlog (0 = unlimited in that
+	// dimension). For CoDel they bound the physical buffer behind the
+	// control law.
+	Packets int
+	Bytes   int
+	// Target and Interval parameterize CoDel; zero selects the RFC 8289
+	// defaults (5 ms / 100 ms). Ignored by other kinds.
+	Target   sim.Time
+	Interval sim.Time
+}
+
+// IsZero reports whether the spec is entirely unset.
+func (s QdiscSpec) IsZero() bool { return s == QdiscSpec{} }
+
+// Build instantiates the discipline the spec describes. Unknown kinds
+// panic: specs come from CLI flags and driver tables, where a typo should
+// fail loudly at setup rather than silently shape traffic wrong.
+func (s QdiscSpec) Build() Qdisc {
+	switch s.Kind {
+	case "", QdiscDropTail:
+		return NewDropTail(s.Packets, s.Bytes)
+	case QdiscInfinite:
+		return NewInfinite()
+	case QdiscCoDel:
+		return NewCoDel(CoDelConfig{
+			Target: s.Target, Interval: s.Interval,
+			MaxPackets: s.Packets, MaxBytes: s.Bytes,
+		})
+	default:
+		panic(fmt.Sprintf("netem: unknown qdisc kind %q", s.Kind))
+	}
+}
+
+// String renders the spec as a compact label ("droptail", "droptail-32p",
+// "codel-t5ms"), used in shell names and experiment cell coordinates.
+func (s QdiscSpec) String() string {
+	kind := s.Kind
+	if kind == "" {
+		kind = QdiscDropTail
+	}
+	label := kind
+	if s.Packets > 0 {
+		label += fmt.Sprintf("-%dp", s.Packets)
+	}
+	if s.Bytes > 0 {
+		label += fmt.Sprintf("-%dB", s.Bytes)
+	}
+	if kind == QdiscCoDel && s.Target > 0 {
+		label += fmt.Sprintf("-t%v", s.Target)
+	}
+	if kind == QdiscCoDel && s.Interval > 0 {
+		// Interval is part of the label so specs differing only in it
+		// stay distinct experiment cell coordinates (distinct seeds).
+		label += fmt.Sprintf("-i%v", s.Interval)
+	}
+	return label
+}

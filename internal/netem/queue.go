@@ -1,15 +1,14 @@
 package netem
 
-// DropTail is a FIFO packet queue with optional packet-count and byte
+import "repro/internal/sim"
+
+// DropTail is a FIFO queue discipline with optional packet-count and byte
 // limits, matching the droptail queues in front of Mahimahi's emulated
 // links. A zero limit means unlimited in that dimension.
 type DropTail struct {
+	qdiscBase
 	maxPackets int
 	maxBytes   int
-	pkts       []*Packet
-	head       int
-	bytes      int
-	dropped    uint64
 }
 
 // NewDropTail returns a queue bounded by maxPackets packets and maxBytes
@@ -18,53 +17,30 @@ func NewDropTail(maxPackets, maxBytes int) *DropTail {
 	return &DropTail{maxPackets: maxPackets, maxBytes: maxBytes}
 }
 
-// Push appends a packet, reporting false (a drop) if either bound would be
-// exceeded.
-func (q *DropTail) Push(pkt *Packet) bool {
-	if q.maxPackets > 0 && q.Len() >= q.maxPackets {
-		q.dropped++
-		return false
-	}
-	if q.maxBytes > 0 && q.bytes+pkt.Size > q.maxBytes {
-		q.dropped++
-		return false
-	}
-	q.pkts = append(q.pkts, pkt)
-	q.bytes += pkt.Size
+// Enqueue implements Qdisc: the packet is admitted unless either bound
+// would be exceeded, in which case it is tail-dropped and recycled.
+func (q *DropTail) Enqueue(pkt *Packet, now sim.Time) bool {
+	return q.boundedEnqueue(pkt, now, q.maxPackets, q.maxBytes)
+}
+
+// Dequeue implements Qdisc: droptail has no dequeue-time drop law, so this
+// is a plain FIFO pop with sojourn accounting.
+func (q *DropTail) Dequeue(now sim.Time) *Packet { return q.take(now) }
+
+// Infinite is the unbounded FIFO discipline (Mahimahi's default
+// "infinite" queue): every packet is admitted and none is ever dropped.
+type Infinite struct {
+	qdiscBase
+}
+
+// NewInfinite returns an unbounded FIFO qdisc.
+func NewInfinite() *Infinite { return &Infinite{} }
+
+// Enqueue implements Qdisc: always admits.
+func (q *Infinite) Enqueue(pkt *Packet, now sim.Time) bool {
+	q.admit(pkt, now)
 	return true
 }
 
-// Pop removes and returns the oldest packet, or nil when empty.
-func (q *DropTail) Pop() *Packet {
-	if q.Len() == 0 {
-		return nil
-	}
-	pkt := q.pkts[q.head]
-	q.pkts[q.head] = nil
-	q.head++
-	q.bytes -= pkt.Size
-	// Compact once the dead prefix dominates, to bound memory.
-	if q.head > 64 && q.head*2 >= len(q.pkts) {
-		n := copy(q.pkts, q.pkts[q.head:])
-		q.pkts = q.pkts[:n]
-		q.head = 0
-	}
-	return pkt
-}
-
-// Peek returns the oldest packet without removing it, or nil when empty.
-func (q *DropTail) Peek() *Packet {
-	if q.Len() == 0 {
-		return nil
-	}
-	return q.pkts[q.head]
-}
-
-// Len reports the number of queued packets.
-func (q *DropTail) Len() int { return len(q.pkts) - q.head }
-
-// Bytes reports the number of queued bytes.
-func (q *DropTail) Bytes() int { return q.bytes }
-
-// Dropped reports the cumulative number of rejected packets.
-func (q *DropTail) Dropped() uint64 { return q.dropped }
+// Dequeue implements Qdisc.
+func (q *Infinite) Dequeue(now sim.Time) *Packet { return q.take(now) }

@@ -13,45 +13,46 @@ type OpportunitySource interface {
 }
 
 // TraceBox emulates one direction of LinkShell: arriving packets are placed
-// in a (droptail) queue and released only at packet-delivery opportunities
-// drawn from the trace. Each opportunity delivers up to one MTU worth of the
-// head packet; packets larger than MTU consume multiple opportunities, and a
-// packet smaller than MTU consumes a whole opportunity, exactly as in
+// in a queue discipline and released only at packet-delivery opportunities
+// drawn from the trace. Each opportunity delivers up to one MTU worth of
+// the head packet; packets larger than MTU consume multiple opportunities,
+// and a packet smaller than MTU consumes a whole opportunity, exactly as in
 // Mahimahi.
+//
+// The qdisc's drop law runs when a packet is committed to the transmitter
+// (dequeued at the start of its first opportunity), so a CoDel queue may
+// discard several stale packets before an opportunity delivers one.
 type TraceBox struct {
 	loop   *sim.Loop
 	opps   OpportunitySource
-	queue  *DropTail
+	queue  Qdisc
 	sink   Sink
 	stats  BoxStats
 	armed  bool
-	sentOf int       // bytes of the head packet already delivered
+	cur    *Packet   // packet committed to the transmitter (mid-delivery)
+	sentOf int       // bytes of cur already delivered
 	timer  sim.Timer // opportunity timer, rearmed across the trace
 }
 
-// NewTraceBox returns a trace-driven box. queue bounds the backlog; pass nil
-// for an unbounded queue.
-func NewTraceBox(loop *sim.Loop, opps OpportunitySource, queue *DropTail) *TraceBox {
+// NewTraceBox returns a trace-driven box. queue is the queue discipline
+// bounding the backlog; pass nil for an unbounded (infinite) queue.
+func NewTraceBox(loop *sim.Loop, opps OpportunitySource, queue Qdisc) *TraceBox {
 	if queue == nil {
-		queue = NewDropTail(0, 0)
+		queue = NewInfinite()
 	}
 	t := &TraceBox{loop: loop, opps: opps, queue: queue}
 	t.timer = loop.NewTimer(t.fire)
 	return t
 }
 
-// admit queues one packet, dropping on overflow.
+// Queue exposes the box's queue discipline, for telemetry.
+func (t *TraceBox) Queue() Qdisc { return t.queue }
+
+// admit queues one packet; the qdisc tail-drops (and recycles) on overflow.
 func (t *TraceBox) admit(pkt *Packet) {
 	t.stats.Arrived++
 	t.stats.ArrivedBytes += uint64(pkt.Size)
-	if !t.queue.Push(pkt) {
-		t.stats.Dropped++
-		return
-	}
-	if t.stats.QueueLen = t.queue.Len(); t.stats.QueueLen > t.stats.MaxQueueLen {
-		t.stats.MaxQueueLen = t.stats.QueueLen
-	}
-	t.stats.QueueBytes = t.queue.Bytes()
+	t.queue.Enqueue(pkt, t.loop.Now())
 }
 
 // Send implements Box.
@@ -63,8 +64,8 @@ func (t *TraceBox) Send(pkt *Packet) {
 	t.arm()
 }
 
-// SendBatch implements Box: the train is admitted in one pass (droptail
-// drops shorten it) and the opportunity timer is armed once. Delivery stays
+// SendBatch implements Box: the train is admitted in one pass (qdisc drops
+// shorten it) and the opportunity timer is armed once. Delivery stays
 // per-opportunity, so a train longer than the current opportunity's capacity
 // is split across opportunities exactly as per-packet sends would be.
 func (t *TraceBox) SendBatch(pkts []*Packet) {
@@ -77,10 +78,10 @@ func (t *TraceBox) SendBatch(pkts []*Packet) {
 	t.arm()
 }
 
-// arm schedules the next delivery opportunity if packets are waiting and no
-// opportunity is already scheduled.
+// arm schedules the next delivery opportunity if packets are waiting (or a
+// large packet is mid-delivery) and no opportunity is already scheduled.
 func (t *TraceBox) arm() {
-	if t.armed || t.queue.Len() == 0 {
+	if t.armed || (t.cur == nil && t.queue.Len() == 0) {
 		return
 	}
 	t.armed = true
@@ -93,22 +94,25 @@ func (t *TraceBox) arm() {
 // packet.
 func (t *TraceBox) fire(sim.Time) {
 	t.armed = false
-	head := t.queue.Peek()
-	if head == nil {
-		return
+	if t.cur == nil {
+		// Commit the next packet to the transmitter; the qdisc's drop law
+		// runs here, on the virtual clock.
+		t.cur = t.queue.Dequeue(t.loop.Now())
+		if t.cur == nil {
+			return
+		}
 	}
-	remaining := head.Size - t.sentOf
+	remaining := t.cur.Size - t.sentOf
 	if remaining > MTU {
 		// Large packet: this opportunity moves MTU bytes; more needed.
 		t.sentOf += MTU
 	} else {
-		t.queue.Pop()
+		pkt := t.cur
+		t.cur = nil
 		t.sentOf = 0
 		t.stats.Delivered++
-		t.stats.DeliveredBytes += uint64(head.Size)
-		t.stats.QueueLen = t.queue.Len()
-		t.stats.QueueBytes = t.queue.Bytes()
-		t.sink(head)
+		t.stats.DeliveredBytes += uint64(pkt.Size)
+		t.sink(pkt)
 	}
 	t.arm()
 }
@@ -120,5 +124,25 @@ func (t *TraceBox) SetSink(sink Sink) { t.sink = sink }
 // instants, so egress is inherently per-packet).
 func (t *TraceBox) SetBatchSink(BatchSink) {}
 
-// Stats implements Box.
-func (t *TraceBox) Stats() BoxStats { return t.stats }
+// Stats implements Box: queue gauges and drop counts are read through from
+// the shared QueueStats, so the batch and single-packet paths can never
+// disagree.
+func (t *TraceBox) Stats() BoxStats {
+	st := t.stats
+	qs := t.queue.QueueStats()
+	st.Dropped = qs.Drops()
+	st.QueueLen = t.queue.Len()
+	st.QueueBytes = t.queue.Bytes()
+	st.MaxQueueLen = qs.MaxLen
+	if t.cur != nil {
+		st.QueueLen++
+		st.QueueBytes += t.cur.Size
+	}
+	// The in-service packet counts toward the instantaneous backlog but
+	// the qdisc's enqueue-time high-water mark never saw it; keep the
+	// gauge pair consistent (max >= current).
+	if st.QueueLen > st.MaxQueueLen {
+		st.MaxQueueLen = st.QueueLen
+	}
+	return st
+}

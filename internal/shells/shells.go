@@ -50,14 +50,22 @@ func (d *DelayShell) Boxes(loop *sim.Loop) (netem.Box, netem.Box) {
 }
 
 // LinkShell emulates a trace-driven link (mm-link): independent uplink and
-// downlink packet-delivery traces, each with an optional droptail queue.
+// downlink packet-delivery traces, each fronted by a queue discipline
+// (droptail by default, as in Mahimahi; CoDel and infinite selectable via
+// Queue, mirroring mm-link's --uplink-queue/--downlink-queue).
 type LinkShell struct {
 	Up, Down *trace.Trace
-	// QueuePackets bounds each direction's queue in packets; zero means
-	// unlimited (Mahimahi's default).
+	// Queue selects both directions' queue discipline. The zero spec means
+	// an unbounded droptail queue (Mahimahi's default), or the legacy
+	// QueuePackets/QueueBytes droptail bounds when those are set.
+	Queue netem.QdiscSpec
+	// UpQueue and DownQueue override Queue per direction when non-zero
+	// (mm-link allows asymmetric disciplines).
+	UpQueue, DownQueue netem.QdiscSpec
+	// QueuePackets bounds each direction's droptail queue in packets; zero
+	// means unlimited. Honored only when Queue is the zero spec.
 	QueuePackets int
-	// QueueBytes bounds each direction's queue in bytes; zero means
-	// unlimited.
+	// QueueBytes is the byte analogue of QueuePackets.
 	QueueBytes int
 }
 
@@ -66,21 +74,47 @@ func NewLinkShell(up, down *trace.Trace) *LinkShell {
 	return &LinkShell{Up: up, Down: down}
 }
 
-// Name implements Shell.
+// specs resolves the per-direction qdisc specs from the precedence chain
+// (direction override, shared spec, legacy droptail bounds).
+func (l *LinkShell) specs() (up, down netem.QdiscSpec) {
+	shared := l.Queue
+	if shared.IsZero() {
+		shared = netem.QdiscSpec{Packets: l.QueuePackets, Bytes: l.QueueBytes}
+	}
+	up, down = shared, shared
+	if !l.UpQueue.IsZero() {
+		up = l.UpQueue
+	}
+	if !l.DownQueue.IsZero() {
+		down = l.DownQueue
+	}
+	return up, down
+}
+
+// Name implements Shell. Droptail links keep the historical name (so every
+// existing artifact's cell coordinates — and therefore its derived seeds —
+// are unchanged); non-default disciplines append their labels, making
+// distinct qdisc scenarios distinct cell coordinates.
 func (l *LinkShell) Name() string {
-	return fmt.Sprintf("link-%s-%s", l.Up.Name(), l.Down.Name())
+	name := fmt.Sprintf("link-%s-%s", l.Up.Name(), l.Down.Name())
+	up, down := l.specs()
+	defaultKind := func(s netem.QdiscSpec) bool {
+		return s.Kind == "" || s.Kind == netem.QdiscDropTail
+	}
+	if defaultKind(up) && defaultKind(down) {
+		return name
+	}
+	if up == down {
+		return name + "+" + up.String()
+	}
+	return name + "+" + up.String() + "/" + down.String()
 }
 
 // Boxes implements Shell.
 func (l *LinkShell) Boxes(loop *sim.Loop) (netem.Box, netem.Box) {
-	mk := func(t *trace.Trace) netem.Box {
-		var q *netem.DropTail
-		if l.QueuePackets > 0 || l.QueueBytes > 0 {
-			q = netem.NewDropTail(l.QueuePackets, l.QueueBytes)
-		}
-		return netem.NewTraceBox(loop, t.Cursor(), q)
-	}
-	return mk(l.Up), mk(l.Down)
+	up, down := l.specs()
+	return netem.NewTraceBox(loop, l.Up.Cursor(), up.Build()),
+		netem.NewTraceBox(loop, l.Down.Cursor(), down.Build())
 }
 
 // LossShell drops packets with a fixed probability per direction (mm-loss,
