@@ -273,33 +273,44 @@ func BenchmarkAblationTraceBoxQueue(b *testing.B) {
 // drain shows CoDel sojourns above target for more than an interval, so
 // the control law's full path — dropping state, square-root spacing,
 // recycle-on-drop — runs every op (asserted below), not just its
-// below-target fast path. Both disciplines must stay at 0 allocs/op — the
-// qdisc boundary sits under every emulated packet. ns/packet (via
-// ReportMetric) is the comparable per-packet cost.
+// below-target fast path; the codel-mark and pie rows run the ECN marking
+// path and PIE's probability controller the same way. Every discipline
+// must stay at 0 allocs/op — the qdisc boundary sits under every emulated
+// packet. ns/packet (via ReportMetric) is the comparable per-packet cost.
 func BenchmarkQdisc(b *testing.B) {
 	const burst = 64
 	cases := []struct {
 		name string
+		ect  bool
 		mk   func() netem.Qdisc
 	}{
-		{"droptail", func() netem.Qdisc { return netem.NewDropTail(256, 0) }},
-		{"codel", func() netem.Qdisc { return netem.NewCoDel(netem.CoDelConfig{MaxPackets: 256}) }},
+		{"droptail", false, func() netem.Qdisc { return netem.NewDropTail(256, 0) }},
+		{"codel", false, func() netem.Qdisc { return netem.NewCoDel(netem.CoDelConfig{MaxPackets: 256}) }},
+		{"codel-mark", true, func() netem.Qdisc {
+			return netem.NewCoDel(netem.CoDelConfig{MaxPackets: 256, ECN: true})
+		}},
+		{"pie", false, func() netem.Qdisc { return netem.NewPIE(netem.PIEConfig{MaxPackets: 256}) }},
+		{"pie-mark", true, func() netem.Qdisc {
+			return netem.NewPIE(netem.PIEConfig{MaxPackets: 256, ECN: true})
+		}},
 	}
 	for _, tc := range cases {
 		b.Run(tc.name, func(b *testing.B) {
 			q := tc.mk()
 			pkts := make([]*netem.Packet, burst)
 			for i := range pkts {
-				pkts[i] = &netem.Packet{Size: netem.MTU}
+				pkts[i] = &netem.Packet{Size: netem.MTU, ECT: tc.ect}
 			}
 			now := sim.Time(0)
 			step := func() {
 				for _, p := range pkts {
+					p.CE = false
 					q.Enqueue(p, now)
 				}
 				// Drain with the clock advancing: late packets in each
-				// burst wait 100ms+ (past CoDel's interval), so the drop
-				// law engages within every op.
+				// burst wait 100ms+ (past CoDel's interval and many PIE
+				// update periods), so the control law engages within
+				// every op.
 				for {
 					now += 5 * sim.Millisecond
 					if q.Dequeue(now) == nil {
@@ -314,8 +325,12 @@ func BenchmarkQdisc(b *testing.B) {
 				step()
 			}
 			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(burst*b.N), "ns/packet")
-			if cd, ok := q.(*netem.CoDel); ok && cd.QueueStats().AQMDrops == 0 {
-				b.Fatal("codel bench never exercised the drop law")
+			qs := q.QueueStats()
+			if tc.ect && qs.AQMMarks == 0 {
+				b.Fatalf("%s bench never exercised the marking law", tc.name)
+			}
+			if !tc.ect && tc.name != "droptail" && qs.AQMDrops == 0 {
+				b.Fatalf("%s bench never exercised the drop law", tc.name)
 			}
 		})
 	}

@@ -4,11 +4,15 @@
 //	mm-link uplink.trace downlink.trace
 //	mm-link -rate 14 -delay 30            (constant-rate links, no files)
 //	mm-link -rate 14 -uplink-queue codel -downlink-queue codel
+//	mm-link -rate 12 -ecn -downlink-queue pie -pie-ecn
 //
 // The queue flags mirror Mahimahi's --uplink-queue/--downlink-queue:
-// droptail (default), infinite, or codel (RFC 8289, parameterized by
-// -codel-target/-codel-interval), with -queue/-queue-bytes bounding the
-// buffer in packets/bytes.
+// droptail (default), infinite, codel (RFC 8289, parameterized by
+// -codel-target/-codel-interval) or pie (RFC 8033, parameterized by
+// -pie-target/-pie-tupdate), with -queue/-queue-bytes bounding the buffer
+// in packets/bytes. -codel-ecn and -pie-ecn switch the AQM from dropping
+// to CE-marking ECT packets; -ecn makes the replayed connections negotiate
+// ECN so their traffic actually is ECT.
 //
 // Trace files use Mahimahi's format: one millisecond timestamp per line,
 // each line one MTU-sized packet-delivery opportunity.
@@ -33,10 +37,15 @@ func main() {
 	delayMS := flag.Int("delay", 0, "additional DelayShell one-way delay, ms")
 	queue := flag.Int("queue", 0, "queue limit in packets (0 = unlimited)")
 	queueBytes := flag.Int("queue-bytes", 0, "queue limit in bytes (0 = unlimited)")
-	upQueue := flag.String("uplink-queue", "droptail", "uplink queue discipline: droptail|infinite|codel")
-	downQueue := flag.String("downlink-queue", "droptail", "downlink queue discipline: droptail|infinite|codel")
+	upQueue := flag.String("uplink-queue", "droptail", "uplink queue discipline: droptail|infinite|codel|pie")
+	downQueue := flag.String("downlink-queue", "droptail", "downlink queue discipline: droptail|infinite|codel|pie")
 	codelTarget := flag.Int("codel-target", 5, "codel sojourn-time target, ms")
 	codelInterval := flag.Int("codel-interval", 100, "codel control interval, ms")
+	codelECN := flag.Bool("codel-ecn", false, "codel marks ECT packets instead of dropping (RFC 8289 §4.1)")
+	pieTarget := flag.Int("pie-target", 15, "pie queue-delay reference, ms (RFC 8033 QDELAY_REF)")
+	pieTUpdate := flag.Int("pie-tupdate", 15, "pie probability-update period, ms (RFC 8033 T_UPDATE)")
+	pieECN := flag.Bool("pie-ecn", false, "pie marks ECT packets instead of dropping (RFC 8033 §5.1)")
+	ecn := flag.Bool("ecn", false, "negotiate ECN on the replayed connections (their traffic becomes ECT)")
 	servers := flag.Int("servers", 12, "synthetic origin count")
 	seed := flag.Uint64("seed", 1, "synthesis seed")
 	loads := flag.Int("loads", 1, "number of page loads")
@@ -44,14 +53,20 @@ func main() {
 
 	mkSpec := func(kind, flagName string) netem.QdiscSpec {
 		switch kind {
-		case netem.QdiscDropTail, netem.QdiscInfinite, netem.QdiscCoDel:
+		case netem.QdiscDropTail, netem.QdiscInfinite, netem.QdiscCoDel, netem.QdiscPIE:
 		default:
-			fatal(fmt.Errorf("unknown %s %q (want droptail|infinite|codel)", flagName, kind))
+			fatal(fmt.Errorf("unknown %s %q (want droptail|infinite|codel|pie)", flagName, kind))
 		}
 		spec := netem.QdiscSpec{Kind: kind, Packets: *queue, Bytes: *queueBytes}
 		if kind == netem.QdiscCoDel {
 			spec.Target = sim.Time(*codelTarget) * sim.Millisecond
 			spec.Interval = sim.Time(*codelInterval) * sim.Millisecond
+			spec.ECN = *codelECN
+		}
+		if kind == netem.QdiscPIE {
+			spec.Target = sim.Time(*pieTarget) * sim.Millisecond
+			spec.TUpdate = sim.Time(*pieTUpdate) * sim.Millisecond
+			spec.ECN = *pieECN
 		}
 		return spec
 	}
@@ -96,6 +111,7 @@ func main() {
 		session := core.NewSession()
 		replay, err := session.NewReplay(core.ReplayConfig{
 			Page: page, Shells: shellList, DNSLatency: sim.Millisecond,
+			ECN: *ecn,
 		})
 		if err != nil {
 			fatal(err)

@@ -80,6 +80,10 @@ type ReplayConfig struct {
 	DNSLatency sim.Time
 	// RequestCPU is the per-request replay server cost (CGI matcher).
 	RequestCPU sim.Time
+	// ECN enables RFC 3168 negotiation on both the browser's stack and the
+	// replay servers', so all replayed traffic is ECT and marking qdiscs
+	// (codel-ecn, PIE) signal it without drops.
+	ECN bool
 	// Browser overrides the browser model options.
 	Browser *browser.Options
 }
@@ -118,7 +122,12 @@ func (s *Session) NewReplay(cfg ReplayConfig) (*ReplayStack, error) {
 	if cfg.Browser != nil {
 		opts = *cfg.Browser
 	}
-	b := browser.New(tcpsim.NewStack(st.App), replay.Resolver, appAddr, opts)
+	browserStack := tcpsim.NewStack(st.App)
+	if cfg.ECN {
+		browserStack.SetECN(true)
+		replay.Stack.SetECN(true)
+	}
+	b := browser.New(browserStack, replay.Resolver, appAddr, opts)
 	return &ReplayStack{session: s, page: cfg.Page, Replay: replay, Stack: st, brow: b}, nil
 }
 

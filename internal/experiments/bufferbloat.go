@@ -18,10 +18,13 @@ import (
 
 // BufferbloatConfig declares the bufferbloat experiment: a long bulk TCP
 // flow shares a trace-driven link with a page load, swept over qdisc
-// {droptail-deep, droptail-shallow, codel} × link trace {constant,
-// cellular}. This is the scenario class the qdisc layer exists for — with
-// only droptail queues, self-inflicted queueing delay under deep buffers
-// (and CoDel's answer to it) was unreachable.
+// {droptail-deep, droptail-shallow, codel, codel-ecn, pie, pie-ecn} ×
+// link trace {constant, cellular}. This is the scenario class the qdisc
+// layer exists for — with only droptail queues, self-inflicted queueing
+// delay under deep buffers (and the AQMs' answers to it) was unreachable;
+// the ECN cells additionally exercise the marking feedback loop, where the
+// AQM signals congestion without destroying packets and the transports cut
+// their windows on echoed CE marks instead of retransmitting.
 type BufferbloatConfig struct {
 	// Seed roots the scenario matrix and the cellular trace synthesis.
 	Seed uint64
@@ -33,11 +36,11 @@ type BufferbloatConfig struct {
 	// starts, so the measured load meets an already-standing queue.
 	HeadStart sim.Time
 	// DeepPackets and ShallowPackets are the two droptail buffer depths;
-	// the CoDel cell uses the deep physical buffer behind the control law.
+	// the AQM cells use the deep physical buffer behind the control law.
 	DeepPackets    int
 	ShallowPackets int
 	// Target and Interval parameterize the CoDel cells (zero = RFC 8289
-	// defaults).
+	// defaults). The PIE cells run the RFC 8033 defaults.
 	Target   sim.Time
 	Interval sim.Time
 	// OneWayDelay is the propagation delay either side of the queue.
@@ -70,12 +73,46 @@ type BufferbloatRow struct {
 	// per-packet queueing delay over the whole run.
 	P95SojournMs  float64
 	MeanSojournMs float64
-	// TailDrops and AQMDrops split the downlink queue's losses by cause.
-	TailDrops, AQMDrops uint64
+	// TailDrops and AQMDrops split the downlink queue's losses by cause;
+	// AQMMarks counts control-law firings resolved by CE-marking instead
+	// (the ECN cells).
+	TailDrops, AQMDrops, AQMMarks uint64
 	// MaxQueue is the downlink backlog high-water mark in packets.
 	MaxQueue int
 	// BulkBytes is what the competing flow actually moved.
 	BulkBytes int
+	// Fairness is the cell's per-flow attribution of the downlink queue.
+	Fairness FairnessRow
+}
+
+// FairnessRow attributes one cell's downlink queue to the bulk flow versus
+// the page's flows, from the per-flow telemetry QueueStats tracks (every
+// packet carries its connection's Flow id). The bulk flow is the flow that
+// moved the most bytes through the queue; every other flow is "web". All
+// fields are sums over flows, so the attribution is order-free.
+type FairnessRow struct {
+	// Flows is the number of distinct flows the queue saw.
+	Flows int
+	// BulkBytes and WebBytes split the queue's delivered bytes.
+	BulkBytes, WebBytes uint64
+	// BulkMeanQMs and WebMeanQMs are per-class mean sojourn times.
+	BulkMeanQMs, WebMeanQMs float64
+	// BulkDrops/WebDrops and BulkMarks/WebMarks split the queue's losses
+	// and CE marks (tail + AQM drops combined).
+	BulkDrops, WebDrops uint64
+	BulkMarks, WebMarks uint64
+	// Jain is Jain's fairness index over the two classes' delivered bytes:
+	// 1.0 when bulk and web moved equal bytes, 0.5 when one starved.
+	Jain float64
+}
+
+// BulkShare is the bulk flow's fraction of delivered bytes.
+func (f FairnessRow) BulkShare() float64 {
+	total := f.BulkBytes + f.WebBytes
+	if total == 0 {
+		return 0
+	}
+	return float64(f.BulkBytes) / float64(total)
 }
 
 // BufferbloatResult is the full sweep in grid order (link-major).
@@ -86,11 +123,20 @@ type BufferbloatResult struct {
 
 // bufferbloatQdiscs enumerates the qdisc arm of the grid.
 func bufferbloatQdiscs(cfg BufferbloatConfig) []netem.QdiscSpec {
+	codel := netem.QdiscSpec{Kind: netem.QdiscCoDel, Packets: cfg.DeepPackets,
+		Target: cfg.Target, Interval: cfg.Interval}
+	codelECN := codel
+	codelECN.ECN = true
+	pie := netem.QdiscSpec{Kind: netem.QdiscPIE, Packets: cfg.DeepPackets}
+	pieECN := pie
+	pieECN.ECN = true
 	return []netem.QdiscSpec{
 		{Packets: cfg.DeepPackets},    // droptail-deep: the bufferbloated buffer
 		{Packets: cfg.ShallowPackets}, // droptail-shallow: low delay, lossy
-		{Kind: netem.QdiscCoDel, Packets: cfg.DeepPackets,
-			Target: cfg.Target, Interval: cfg.Interval}, // AQM on the deep buffer
+		codel,                         // AQM on the deep buffer, dropping
+		codelECN,                      // same law, CE-marking ECT packets
+		pie,                           // RFC 8033 on the deep buffer, dropping
+		pieECN,                        // PIE marking
 	}
 }
 
@@ -156,6 +202,19 @@ func Bufferbloat(cfg BufferbloatConfig) BufferbloatResult {
 			AQMDrops:      uint64(vals[4]),
 			MaxQueue:      int(vals[5]),
 			BulkBytes:     int(vals[6]),
+			AQMMarks:      uint64(vals[7]),
+			Fairness: FairnessRow{
+				Flows:       int(vals[8]),
+				BulkBytes:   uint64(vals[9]),
+				WebBytes:    uint64(vals[10]),
+				BulkMeanQMs: vals[11],
+				WebMeanQMs:  vals[12],
+				BulkDrops:   uint64(vals[13]),
+				WebDrops:    uint64(vals[14]),
+				BulkMarks:   uint64(vals[15]),
+				WebMarks:    uint64(vals[16]),
+				Jain:        vals[17],
+			},
 		})
 	}
 	return out
@@ -193,6 +252,8 @@ func bufferbloatCell(cfg BufferbloatConfig, page *webgen.Page, site *archive.Sit
 	// does with the same contended seconds.
 	sojourn := stats.NewAccumulator()
 	downQ.QueueStats().RecordSojourn(sojourn)
+	// Per-flow attribution on the contended queue feeds the fairness table.
+	downQ.QueueStats().TrackFlows()
 	upPipe := netem.NewPipeline(
 		netem.NewDelayBox(loop, cfg.OneWayDelay),
 		netem.NewTraceBox(loop, up.Cursor(), upQ),
@@ -228,6 +289,14 @@ func bufferbloatCell(cfg BufferbloatConfig, page *webgen.Page, site *archive.Sit
 
 	// Client side: the browser's stack also carries the bulk download.
 	stack := tcpsim.NewStack(app)
+	// The ECN cells negotiate ECN on every connection — client, replay
+	// servers and bulk sender — so all traffic through the marking AQM is
+	// ECT and the control law resolves by marking, never dropping.
+	if spec.ECN {
+		stack.SetECN(true)
+		bulkStack.SetECN(true)
+		replay.Stack.SetECN(true)
+	}
 	bulkGot := 0
 	loop.Schedule(0, func(sim.Time) {
 		conn, err := stack.Dial(AppAddr, bulkAP)
@@ -247,7 +316,7 @@ func bufferbloatCell(cfg BufferbloatConfig, page *webgen.Page, site *archive.Sit
 
 	qs := downQ.QueueStats()
 	s := sojourn.Sample()
-	return []float64{
+	vals := []float64{
 		result.PLT.Milliseconds(),
 		s.Percentile(95),
 		s.Mean(),
@@ -255,20 +324,83 @@ func bufferbloatCell(cfg BufferbloatConfig, page *webgen.Page, site *archive.Sit
 		float64(qs.AQMDrops),
 		float64(qs.MaxLen),
 		float64(bulkGot),
+		float64(qs.AQMMarks),
+	}
+	return append(vals, fairnessVals(qs)...)
+}
+
+// fairnessVals attributes the queue's per-flow telemetry to the bulk flow
+// (the flow that delivered the most bytes; ties go to the lowest id) versus
+// everything else, flattened for the engine's order-free merge.
+func fairnessVals(qs *netem.QueueStats) []float64 {
+	var bulkID uint64
+	var bulkBytes uint64
+	ids := qs.Flows()
+	for _, id := range ids {
+		if f := qs.Flow(id); f.DequeuedBytes > bulkBytes {
+			bulkID, bulkBytes = id, f.DequeuedBytes
+		}
+	}
+	var bulk, web netem.FlowQueueStats
+	for _, id := range ids {
+		f := qs.Flow(id)
+		into := &web
+		if id == bulkID {
+			into = &bulk
+		}
+		into.DequeuedBytes += f.DequeuedBytes
+		into.TailDrops += f.TailDrops
+		into.AQMDrops += f.AQMDrops
+		into.AQMMarks += f.AQMMarks
+		into.SojournCount += f.SojournCount
+		into.SojournSum += f.SojournSum
+	}
+	// Jain's index over the two classes' delivered bytes:
+	// (b+w)^2 / (2*(b^2+w^2)), 1.0 for an even split, 0.5 for starvation.
+	jain := 0.0
+	b, w := float64(bulk.DequeuedBytes), float64(web.DequeuedBytes)
+	if b+w > 0 {
+		jain = (b + w) * (b + w) / (2 * (b*b + w*w))
+	}
+	return []float64{
+		float64(len(ids)),
+		b, w,
+		bulk.MeanSojourn().Milliseconds(),
+		web.MeanSojourn().Milliseconds(),
+		float64(bulk.TailDrops + bulk.AQMDrops),
+		float64(web.TailDrops + web.AQMDrops),
+		float64(bulk.AQMMarks),
+		float64(web.AQMMarks),
+		jain,
 	}
 }
 
-// String renders the sweep as a table, one row per (link, qdisc) cell.
+// String renders the sweep as two tables: the per-cell grid, then the
+// per-flow fairness attribution of every cell's downlink queue.
 func (r BufferbloatResult) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "Bufferbloat: page load vs a bulk flow through one queue (CoDel target %v)\n", r.Target)
-	fmt.Fprintf(&b, "  %-10s %-16s %9s %8s %8s %7s %7s %7s\n",
-		"link", "qdisc", "PLT ms", "p95q ms", "meanq ms", "taildrp", "aqmdrp", "maxq")
+	fmt.Fprintf(&b, "  %-10s %-16s %9s %8s %8s %7s %7s %7s %7s\n",
+		"link", "qdisc", "PLT ms", "p95q ms", "meanq ms", "taildrp", "aqmdrp", "aqmmark", "maxq")
 	for _, row := range r.Rows {
-		fmt.Fprintf(&b, "  %-10s %-16s %9.0f %8.1f %8.1f %7d %7d %7d\n",
+		fmt.Fprintf(&b, "  %-10s %-16s %9.0f %8.1f %8.1f %7d %7d %7d %7d\n",
 			row.Link, row.Qdisc.String(), row.PLTms, row.P95SojournMs, row.MeanSojournMs,
-			row.TailDrops, row.AQMDrops, row.MaxQueue)
+			row.TailDrops, row.AQMDrops, row.AQMMarks, row.MaxQueue)
 	}
-	b.WriteString("  -> deep droptail trades delay for loss; CoDel holds queueing delay near target\n")
+	b.WriteString("  -> deep droptail trades delay for loss; the AQMs hold queueing delay near target,\n")
+	b.WriteString("     and their -ecn modes do it by marking ECT flows instead of dropping\n")
+	b.WriteString("\nPer-flow fairness: downlink attribution, bulk flow vs the page's flows\n")
+	fmt.Fprintf(&b, "  %-10s %-16s %5s %8s %8s %6s %8s %8s %11s %11s %6s\n",
+		"link", "qdisc", "flows", "bulk KB", "web KB", "bulk%", "q^bulk", "q^web", "drops(b/w)", "marks(b/w)", "jain")
+	for _, row := range r.Rows {
+		f := row.Fairness
+		fmt.Fprintf(&b, "  %-10s %-16s %5d %8.0f %8.0f %6.1f %7.1fms %7.1fms %5d/%-5d %5d/%-5d %6.3f\n",
+			row.Link, row.Qdisc.String(), f.Flows,
+			float64(f.BulkBytes)/1024, float64(f.WebBytes)/1024, f.BulkShare()*100,
+			f.BulkMeanQMs, f.WebMeanQMs,
+			f.BulkDrops, f.WebDrops, f.BulkMarks, f.WebMarks, f.Jain)
+	}
+	b.WriteString("  -> droptail shares by luck of the tail; the AQMs' per-packet law spreads the\n")
+	b.WriteString("     pain by arrival share, and marking shifts it off the wire entirely\n")
 	return b.String()
 }

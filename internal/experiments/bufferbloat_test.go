@@ -21,13 +21,14 @@ func bufferbloatTestConfig() BufferbloatConfig {
 // (bufferbloat); CoDel on the same deep buffer holds the standing queue —
 // the mean sojourn, which is what the control law regulates; transient
 // bursts are tolerated by design — within a small band around its target,
-// dropping only by control law (never tail); and the shallow droptail
-// bounds delay by construction.
+// dropping only by control law (never tail); the shallow droptail bounds
+// delay by construction; and the ECN cells resolve every control-law
+// firing by marking — zero drops of any kind on the all-ECT traffic.
 func TestBufferbloatOrdering(t *testing.T) {
 	cfg := bufferbloatTestConfig()
 	res := Bufferbloat(cfg)
-	if len(res.Rows) != 6 {
-		t.Fatalf("rows = %d, want 6", len(res.Rows))
+	if len(res.Rows) != 12 {
+		t.Fatalf("rows = %d, want 12", len(res.Rows))
 	}
 	for _, row := range res.Rows {
 		if row.PLTms <= 0 {
@@ -36,21 +37,60 @@ func TestBufferbloatOrdering(t *testing.T) {
 		if row.BulkBytes <= 0 {
 			t.Fatalf("%s/%s: bulk flow moved nothing", row.Link, row.Qdisc)
 		}
+		f := row.Fairness
+		if f.Flows < 2 {
+			t.Fatalf("%s/%s: fairness saw %d flows, want the bulk flow plus the page's", row.Link, row.Qdisc, f.Flows)
+		}
+		if f.BulkBytes <= f.WebBytes {
+			t.Errorf("%s/%s: bulk attribution %d bytes not dominant over web %d", row.Link, row.Qdisc, f.BulkBytes, f.WebBytes)
+		}
+		if f.Jain <= 0.5 || f.Jain > 1 {
+			t.Errorf("%s/%s: Jain index %.3f outside (0.5, 1]", row.Link, row.Qdisc, f.Jain)
+		}
 	}
 	for _, link := range []string{"const12", "cellular"} {
-		var deepRow, shallowRow, codelRow BufferbloatRow
+		var deepRow, shallowRow, codelRow, codelECNRow, pieRow, pieECNRow BufferbloatRow
 		for _, row := range res.Rows {
 			if row.Link != link {
 				continue
 			}
 			switch {
+			case row.Qdisc.Kind == netem.QdiscCoDel && row.Qdisc.ECN:
+				codelECNRow = row
 			case row.Qdisc.Kind == netem.QdiscCoDel:
 				codelRow = row
+			case row.Qdisc.Kind == netem.QdiscPIE && row.Qdisc.ECN:
+				pieECNRow = row
+			case row.Qdisc.Kind == netem.QdiscPIE:
+				pieRow = row
 			case row.Qdisc.Packets == cfg.DeepPackets:
 				deepRow = row
 			default:
 				shallowRow = row
 			}
+		}
+		// The marking cells: the all-ECT traffic must never lose a packet
+		// to the AQM — the control law resolves every firing with a mark.
+		for _, ecnRow := range []BufferbloatRow{codelECNRow, pieECNRow} {
+			if ecnRow.AQMDrops != 0 {
+				t.Errorf("%s/%s: marking cell AQM-dropped %d", link, ecnRow.Qdisc, ecnRow.AQMDrops)
+			}
+			if ecnRow.TailDrops != 0 {
+				t.Errorf("%s/%s: marking cell tail-dropped %d", link, ecnRow.Qdisc, ecnRow.TailDrops)
+			}
+			if ecnRow.AQMMarks == 0 {
+				t.Errorf("%s/%s: marking cell never marked", link, ecnRow.Qdisc)
+			}
+			if ecnRow.Fairness.BulkMarks == 0 {
+				t.Errorf("%s/%s: no marks attributed to the bulk flow", link, ecnRow.Qdisc)
+			}
+		}
+		// Drop-mode PIE exercises its law by dropping, never marking.
+		if pieRow.AQMDrops == 0 {
+			t.Errorf("%s: pie never exercised its control law", link)
+		}
+		if pieRow.AQMMarks != 0 {
+			t.Errorf("%s: drop-mode pie marked %d", link, pieRow.AQMMarks)
 		}
 		if deepRow.P95SojournMs <= codelRow.P95SojournMs || deepRow.P95SojournMs <= shallowRow.P95SojournMs {
 			t.Errorf("%s: deep droptail p95 %.1fms not the worst (codel %.1f, shallow %.1f)",

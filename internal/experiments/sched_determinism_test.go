@@ -59,7 +59,10 @@ var schedArtifacts = map[string]func(parallel int) string{
 	},
 	// The codel cells put the RFC 8289 control law — drop spacing, count
 	// decay, sojourn arithmetic — under the same byte-identity contract as
-	// every droptail artifact.
+	// every droptail artifact; the codel-ecn, pie and pie-ecn cells extend
+	// the contract over the marking state machine, PIE's probability
+	// controller with its deterministic draw stream, the ECN negotiation
+	// and echo in tcpsim, and the per-flow fairness attribution.
 	"bufferbloat": func(parallel int) string {
 		cfg := DefaultBufferbloat()
 		cfg.BulkBytes = 2 << 20

@@ -24,6 +24,13 @@ import (
 // kernel CoDel is only approximately reproducible because its clock reads
 // race with packet arrivals.)
 //
+// In ECN mode (RFC 8289 §4.1: "CoDel can be easily adapted to use ECN
+// marking instead of dropping") the control law CE-marks ECT packets at the
+// instants it would have dropped them — same state machine, same
+// interval/sqrt(count) schedule — and delivers them; non-ECT packets are
+// still dropped. Marking leaves the backlog intact, so queue control relies
+// on the transport reacting to the echoed marks.
+//
 // An optional packet/byte bound models the finite physical buffer behind
 // the control law (tail drops, like droptail); zero bounds mean none.
 type CoDel struct {
@@ -32,6 +39,7 @@ type CoDel struct {
 	interval   sim.Time
 	maxPackets int
 	maxBytes   int
+	ecn        bool
 
 	// Control-law state, named as in RFC 8289.
 	firstAboveTime sim.Time // when sojourn first stayed above target (0 = below)
@@ -43,12 +51,13 @@ type CoDel struct {
 
 // CoDelConfig parameterizes a CoDel queue. Zero Target/Interval select the
 // RFC 8289 defaults (5 ms / 100 ms); zero Max bounds leave the physical
-// buffer unlimited.
+// buffer unlimited. ECN selects marking mode.
 type CoDelConfig struct {
 	Target     sim.Time
 	Interval   sim.Time
 	MaxPackets int
 	MaxBytes   int
+	ECN        bool
 }
 
 // NewCoDel returns a CoDel qdisc.
@@ -62,6 +71,7 @@ func NewCoDel(cfg CoDelConfig) *CoDel {
 	return &CoDel{
 		target: cfg.Target, interval: cfg.Interval,
 		maxPackets: cfg.MaxPackets, maxBytes: cfg.MaxBytes,
+		ecn: cfg.ECN,
 	}
 }
 
@@ -70,6 +80,9 @@ func (q *CoDel) Target() sim.Time { return q.target }
 
 // Interval reports the configured control interval.
 func (q *CoDel) Interval() sim.Time { return q.interval }
+
+// ECN reports whether the discipline marks instead of dropping.
+func (q *CoDel) ECN() bool { return q.ecn }
 
 // Enqueue implements Qdisc: admission is droptail against the physical
 // bounds; the control law acts only at dequeue.
@@ -108,8 +121,10 @@ func (q *CoDel) controlLaw(t sim.Time) sim.Time {
 	return t + sim.Time(float64(q.interval)/math.Sqrt(float64(q.count)))
 }
 
-// Dequeue implements Qdisc: the RFC 8289 deque state machine. It may drop
-// several packets (recycling each) before returning a survivor.
+// Dequeue implements Qdisc: the RFC 8289 deque state machine. In drop mode
+// it may discard several packets (recycling each) before returning a
+// survivor; in ECN mode a control-law firing on an ECT packet CE-marks it
+// and delivers it instead.
 func (q *CoDel) Dequeue(now sim.Time) *Packet {
 	pkt, okToDrop := q.doDequeue(now)
 	if pkt == nil {
@@ -122,6 +137,15 @@ func (q *CoDel) Dequeue(now sim.Time) *Packet {
 			q.dropping = false
 		} else {
 			for q.dropping && now >= q.dropNext {
+				if q.ecn && pkt.ECT {
+					// Mark instead of drop: the packet survives, the
+					// drop schedule advances exactly as a drop would
+					// have advanced it.
+					q.aqmMark(pkt)
+					q.count++
+					q.dropNext = q.controlLaw(q.dropNext)
+					break
+				}
 				q.aqmDrop(pkt)
 				q.count++
 				pkt, okToDrop = q.doDequeue(now)
@@ -137,9 +161,14 @@ func (q *CoDel) Dequeue(now sim.Time) *Packet {
 			}
 		}
 	} else if okToDrop {
-		// Enter the dropping state: drop this packet and deliver the next.
-		q.aqmDrop(pkt)
-		pkt, _ = q.doDequeue(now)
+		// Enter the dropping state: drop (or, in ECN mode, mark) this
+		// packet.
+		if q.ecn && pkt.ECT {
+			q.aqmMark(pkt)
+		} else {
+			q.aqmDrop(pkt)
+			pkt, _ = q.doDequeue(now)
+		}
 		q.dropping = true
 		// If we were dropping recently, start the drop rate near where it
 		// left off instead of from 1 (RFC 8289 deque, the "count decay").
@@ -157,7 +186,6 @@ func (q *CoDel) Dequeue(now sim.Time) *Packet {
 		}
 	}
 	// Deliver the survivor.
-	q.stats.Dequeued++
-	q.stats.noteSojourn(now - pkt.enq)
+	q.deliver(pkt, now)
 	return pkt
 }

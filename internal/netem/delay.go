@@ -256,6 +256,7 @@ func (l *LossBox) Send(pkt *Packet) {
 	l.stats.ArrivedBytes += uint64(pkt.Size)
 	if l.prob > 0 && l.rng.Float64() < l.prob {
 		l.stats.Dropped++
+		pkt.Recycle()
 		return
 	}
 	l.stats.Delivered++
@@ -276,6 +277,7 @@ func (l *LossBox) SendBatch(pkts []*Packet) {
 		l.stats.ArrivedBytes += uint64(pkt.Size)
 		if l.prob > 0 && l.rng.Float64() < l.prob {
 			l.stats.Dropped++
+			pkt.Recycle()
 			continue
 		}
 		l.stats.Delivered++

@@ -41,6 +41,15 @@ type Packet struct {
 	// Sent is the virtual time the packet entered the current box. Boxes
 	// update it on ingress.
 	Sent sim.Time
+	// ECT marks the packet as belonging to an ECN-capable transport
+	// (RFC 3168): a marking AQM (codel-ecn, PIE) signals congestion on such
+	// packets by setting CE instead of dropping them. Non-ECT packets are
+	// dropped as before even by a marking discipline.
+	ECT bool
+	// CE is the Congestion Experienced mark, set by an AQM whose control
+	// law fired on an ECT packet. It travels with the packet to the
+	// receiving transport, which echoes it back to the sender.
+	CE bool
 	// enq is the virtual time the packet entered the qdisc currently
 	// holding it, stamped by Qdisc.Enqueue; sojourn-time AQM (CoDel) and
 	// per-queue delay telemetry read it at dequeue.
@@ -56,15 +65,25 @@ type Packet struct {
 
 // PacketPool recycles Packets within one event loop. The simulation is
 // single-goroutine per loop, so the free list needs no synchronization.
-// Packets dropped by a qdisc are recycled at the qdisc boundary
-// (Packet.Recycle); packets dropped elsewhere (probabilistic loss) fall to
-// the garbage collector.
+// Packets dropped anywhere in the data plane (qdisc tail or AQM drops,
+// probabilistic loss) are recycled via Packet.Recycle.
 type PacketPool struct {
 	free []*Packet
+	// ReleasePayload, when set, receives the payload of every dropped
+	// packet recycled through Packet.Recycle, so the layer that wrapped the
+	// payload can free it too (nsim recycles the datagram and forwards to
+	// the transport's segment refcount). Delivered packets are recycled
+	// with Put by the sink that consumed the payload, which bypasses the
+	// hook.
+	ReleasePayload func(payload any)
+	// gets and puts count pool traffic for leak accounting: at quiescence
+	// (no packets in flight or queued) they must balance.
+	gets, puts uint64
 }
 
 // Get returns a zeroed packet, reusing a recycled one when available.
 func (pp *PacketPool) Get() *Packet {
+	pp.gets++
 	if n := len(pp.free); n > 0 {
 		pkt := pp.free[n-1]
 		pp.free[n-1] = nil
@@ -80,23 +99,34 @@ func (pp *PacketPool) Put(pkt *Packet) {
 	if pkt == nil || !pkt.pooled {
 		return
 	}
+	pp.puts++
 	*pkt = Packet{pooled: true, pool: pp}
 	pp.free = append(pp.free, pkt)
 }
 
-// Recycle returns a pool-allocated packet to its origin pool; hand-built
-// packets (tests, benches) are ignored. Qdiscs call this for every packet
-// they drop, so no queue discipline can leak pooled packets.
+// Outstanding reports Get calls not yet balanced by a Put: the number of
+// pool packets currently alive (in flight or queued). Zero at quiescence
+// means no drop path leaked a packet.
+func (pp *PacketPool) Outstanding() int64 { return int64(pp.gets) - int64(pp.puts) }
+
+// Recycle returns a dropped pool-allocated packet to its origin pool;
+// hand-built packets (tests, benches) are ignored. Every drop path — qdisc
+// tail and AQM drops, probabilistic loss — calls this, so no discipline can
+// leak pooled packets.
 //
-// Only the Packet itself is recycled: a pooled transport payload (an
-// nsim.Datagram and any segment it references) still falls to the garbage
-// collector on drop, as it did before the qdisc layer existed — releasing
-// it safely needs a drop-release chain through the transport's refcounts
-// (ROADMAP, per-flow follow-ons).
+// A dropped packet's payload is dead too: nothing downstream will ever see
+// it. The pool's ReleasePayload hook (installed by nsim) therefore receives
+// it here, recycling the pooled nsim.Datagram and releasing the wire copy's
+// segment reference through the transport's refcounts — the drop-release
+// chain that closes the last drop-path allocation leak.
 func (p *Packet) Recycle() {
-	if p != nil && p.pool != nil {
-		p.pool.Put(p)
+	if p == nil || p.pool == nil {
+		return
 	}
+	if p.Payload != nil && p.pool.ReleasePayload != nil {
+		p.pool.ReleasePayload(p.Payload)
+	}
+	p.pool.Put(p)
 }
 
 // String formats a short description of the packet for debug output.

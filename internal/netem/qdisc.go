@@ -2,6 +2,7 @@ package netem
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/sim"
 	"repro/internal/stats"
@@ -58,10 +59,14 @@ type QueueStats struct {
 	Enqueued uint64
 	Dequeued uint64
 	// TailDrops counts packets rejected at Enqueue (buffer full); AQMDrops
-	// counts packets discarded by the discipline's control law at Dequeue
-	// (CoDel). Droptail queues only ever tail-drop.
+	// counts packets discarded by the discipline's control law (CoDel at
+	// Dequeue, PIE at Enqueue). Droptail queues only ever tail-drop.
 	TailDrops uint64
 	AQMDrops  uint64
+	// AQMMarks counts packets the control law CE-marked instead of dropping
+	// (codel-ecn, PIE with ECN). Marked packets are delivered, so they also
+	// count in Dequeued and the sojourn summary.
+	AQMMarks uint64
 	// MaxLen and MaxBytes are backlog high-water marks, updated at Enqueue.
 	MaxLen   int
 	MaxBytes int
@@ -74,6 +79,37 @@ type QueueStats struct {
 	SojournMax   sim.Time
 
 	hist *stats.Accumulator
+	// flows, when enabled via TrackFlows, attributes the queue's telemetry
+	// to the Flow id on every packet. Disabled (nil) by default so the
+	// per-packet hot path pays only a nil check.
+	flows map[uint64]*FlowQueueStats
+}
+
+// FlowQueueStats is one flow's share of a queue's telemetry: throughput
+// (delivered packets and bytes), the sojourn summary of its delivered
+// packets, and its drops-vs-marks split. Every field is a plain sum, so
+// per-flow attribution merges order-free — the same property that lets
+// stats.Accumulator merge cell results in matrix order regardless of
+// completion order.
+type FlowQueueStats struct {
+	Enqueued      uint64
+	Dequeued      uint64
+	DequeuedBytes uint64
+	TailDrops     uint64
+	AQMDrops      uint64
+	AQMMarks      uint64
+	SojournCount  uint64
+	SojournSum    sim.Time
+	SojournMax    sim.Time
+}
+
+// MeanSojourn reports the flow's mean queueing delay over its delivered
+// packets.
+func (f *FlowQueueStats) MeanSojourn() sim.Time {
+	if f.SojournCount == 0 {
+		return 0
+	}
+	return f.SojournSum / sim.Time(f.SojournCount)
 }
 
 // Drops reports total packets dropped by the discipline.
@@ -85,6 +121,45 @@ func (s *QueueStats) MeanSojourn() sim.Time {
 		return 0
 	}
 	return s.SojournSum / sim.Time(s.SojournCount)
+}
+
+// TrackFlows enables per-flow attribution: from this call on, every
+// enqueue, dequeue, drop and mark is also accounted against the packet's
+// Flow id. Call before traffic flows; the map lookups cost a few ns per
+// packet, which is why attribution is opt-in.
+func (s *QueueStats) TrackFlows() {
+	if s.flows == nil {
+		s.flows = make(map[uint64]*FlowQueueStats)
+	}
+}
+
+// Flow returns the attribution record for one flow id, or nil when the
+// flow was never seen (or tracking is disabled).
+func (s *QueueStats) Flow(id uint64) *FlowQueueStats { return s.flows[id] }
+
+// Flows returns the tracked flow ids in ascending order, so renderings
+// derived from the map are deterministic.
+func (s *QueueStats) Flows() []uint64 {
+	ids := make([]uint64, 0, len(s.flows))
+	for id := range s.flows {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// flow returns (creating if needed) the record for id, or nil when
+// tracking is disabled.
+func (s *QueueStats) flow(id uint64) *FlowQueueStats {
+	if s.flows == nil {
+		return nil
+	}
+	f := s.flows[id]
+	if f == nil {
+		f = &FlowQueueStats{}
+		s.flows[id] = f
+	}
+	return f
 }
 
 // RecordSojourn attaches an accumulator that receives every dequeued
@@ -159,11 +234,32 @@ func (b *qdiscBase) admit(pkt *Packet, now sim.Time) {
 	pkt.enq = now
 	b.ring.push(pkt)
 	b.stats.Enqueued++
+	if f := b.stats.flow(pkt.Flow); f != nil {
+		f.Enqueued++
+	}
 	if n := b.ring.len(); n > b.stats.MaxLen {
 		b.stats.MaxLen = n
 	}
 	if b.ring.bytes > b.stats.MaxBytes {
 		b.stats.MaxBytes = b.ring.bytes
+	}
+}
+
+// deliver accounts one packet handed to the transmitter: the delivery
+// count, the sojourn summary, and (when tracked) the packet's flow share.
+// Every discipline's Dequeue funnels survivors through here.
+func (b *qdiscBase) deliver(pkt *Packet, now sim.Time) {
+	b.stats.Dequeued++
+	d := now - pkt.enq
+	b.stats.noteSojourn(d)
+	if f := b.stats.flow(pkt.Flow); f != nil {
+		f.Dequeued++
+		f.DequeuedBytes += uint64(pkt.Size)
+		f.SojournCount++
+		f.SojournSum += d
+		if d > f.SojournMax {
+			f.SojournMax = d
+		}
 	}
 }
 
@@ -173,14 +269,16 @@ func (b *qdiscBase) take(now sim.Time) *Packet {
 	if pkt == nil {
 		return nil
 	}
-	b.stats.Dequeued++
-	b.stats.noteSojourn(now - pkt.enq)
+	b.deliver(pkt, now)
 	return pkt
 }
 
 // tailDrop rejects a packet at the enqueue boundary and recycles it.
 func (b *qdiscBase) tailDrop(pkt *Packet) {
 	b.stats.TailDrops++
+	if f := b.stats.flow(pkt.Flow); f != nil {
+		f.TailDrops++
+	}
 	pkt.Recycle()
 }
 
@@ -201,10 +299,23 @@ func (b *qdiscBase) boundedEnqueue(pkt *Packet, now sim.Time, maxPackets, maxByt
 	return true
 }
 
-// aqmDrop discards a queued packet by control-law decision and recycles it.
+// aqmDrop discards a packet by control-law decision and recycles it.
 func (b *qdiscBase) aqmDrop(pkt *Packet) {
 	b.stats.AQMDrops++
+	if f := b.stats.flow(pkt.Flow); f != nil {
+		f.AQMDrops++
+	}
 	pkt.Recycle()
+}
+
+// aqmMark sets the CE mark on a packet by control-law decision; the packet
+// stays in the system and is delivered (the ECN alternative to aqmDrop).
+func (b *qdiscBase) aqmMark(pkt *Packet) {
+	pkt.CE = true
+	b.stats.AQMMarks++
+	if f := b.stats.flow(pkt.Flow); f != nil {
+		f.AQMMarks++
+	}
 }
 
 // Peek implements Qdisc.
@@ -228,6 +339,7 @@ const (
 	QdiscDropTail = "droptail"
 	QdiscInfinite = "infinite"
 	QdiscCoDel    = "codel"
+	QdiscPIE      = "pie"
 )
 
 // CoDel defaults per RFC 8289 §4.2–4.3.
@@ -240,18 +352,24 @@ const (
 // value plumbed from CLI flags through shells.LinkShell down to the boxes.
 // The zero spec builds an unbounded droptail queue, Mahimahi's default.
 type QdiscSpec struct {
-	// Kind is "", QdiscDropTail, QdiscInfinite or QdiscCoDel; empty means
-	// droptail.
+	// Kind is "", QdiscDropTail, QdiscInfinite, QdiscCoDel or QdiscPIE;
+	// empty means droptail.
 	Kind string
 	// Packets and Bytes bound the backlog (0 = unlimited in that
-	// dimension). For CoDel they bound the physical buffer behind the
-	// control law.
+	// dimension). For CoDel and PIE they bound the physical buffer behind
+	// the control law.
 	Packets int
 	Bytes   int
-	// Target and Interval parameterize CoDel; zero selects the RFC 8289
-	// defaults (5 ms / 100 ms). Ignored by other kinds.
+	// Target parameterizes the AQM's delay reference: CoDel's sojourn
+	// target (zero = RFC 8289's 5 ms) or PIE's QDELAY_REF (zero =
+	// RFC 8033's 15 ms). Interval is CoDel's control interval (zero =
+	// 100 ms); TUpdate is PIE's probability-update period (zero = 15 ms).
 	Target   sim.Time
 	Interval sim.Time
+	TUpdate  sim.Time
+	// ECN switches CoDel and PIE from dropping to CE-marking ECT packets
+	// (non-ECT packets are still dropped). Ignored by droptail/infinite.
+	ECN bool
 }
 
 // IsZero reports whether the spec is entirely unset.
@@ -270,6 +388,13 @@ func (s QdiscSpec) Build() Qdisc {
 		return NewCoDel(CoDelConfig{
 			Target: s.Target, Interval: s.Interval,
 			MaxPackets: s.Packets, MaxBytes: s.Bytes,
+			ECN: s.ECN,
+		})
+	case QdiscPIE:
+		return NewPIE(PIEConfig{
+			Target: s.Target, TUpdate: s.TUpdate,
+			MaxPackets: s.Packets, MaxBytes: s.Bytes,
+			ECN: s.ECN,
 		})
 	default:
 		panic(fmt.Sprintf("netem: unknown qdisc kind %q", s.Kind))
@@ -277,26 +402,32 @@ func (s QdiscSpec) Build() Qdisc {
 }
 
 // String renders the spec as a compact label ("droptail", "droptail-32p",
-// "codel-t5ms"), used in shell names and experiment cell coordinates.
+// "codel-t5ms", "pie-ecn"), used in shell names and experiment cell
+// coordinates. Every parameter that changes behavior appears in the label,
+// so distinct specs are distinct cell coordinates (distinct seeds).
 func (s QdiscSpec) String() string {
 	kind := s.Kind
 	if kind == "" {
 		kind = QdiscDropTail
 	}
 	label := kind
+	if s.ECN && (kind == QdiscCoDel || kind == QdiscPIE) {
+		label += "-ecn"
+	}
 	if s.Packets > 0 {
 		label += fmt.Sprintf("-%dp", s.Packets)
 	}
 	if s.Bytes > 0 {
 		label += fmt.Sprintf("-%dB", s.Bytes)
 	}
-	if kind == QdiscCoDel && s.Target > 0 {
+	if (kind == QdiscCoDel || kind == QdiscPIE) && s.Target > 0 {
 		label += fmt.Sprintf("-t%v", s.Target)
 	}
 	if kind == QdiscCoDel && s.Interval > 0 {
-		// Interval is part of the label so specs differing only in it
-		// stay distinct experiment cell coordinates (distinct seeds).
 		label += fmt.Sprintf("-i%v", s.Interval)
+	}
+	if kind == QdiscPIE && s.TUpdate > 0 {
+		label += fmt.Sprintf("-u%v", s.TUpdate)
 	}
 	return label
 }

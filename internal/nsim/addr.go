@@ -94,6 +94,14 @@ type Datagram struct {
 	// Flow and Seq pass through to netem.Packet for accounting.
 	Flow uint64
 	Seq  int64
+	// ECT marks the datagram as ECN-capable (RFC 3168): marking AQM
+	// disciplines on the path CE-mark it instead of dropping. Set by the
+	// transport on ECN-negotiated connections.
+	ECT bool
+	// CE is the Congestion Experienced mark, copied back from the
+	// netem.Packet that carried the datagram across a link whose AQM
+	// fired. The receiving transport echoes it to the sender.
+	CE bool
 	// Payload is transport data, opaque to the network layer.
 	Payload any
 	// pooled marks datagrams allocated via Network.NewDatagram; only those

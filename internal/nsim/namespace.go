@@ -22,6 +22,11 @@ type Network struct {
 	// pools recycles the netem packets that wrap datagrams crossing links
 	// and the pooled datagrams themselves (see NewDatagram).
 	pools *PoolSet
+	// payloadRelease, when set (by the transport, see SetPayloadRelease),
+	// receives the payload of every datagram dropped inside the network —
+	// qdisc drops, loss, TTL expiry, no-route, no-socket — so the
+	// transport can release the wire copy's reference on it.
+	payloadRelease func(payload any)
 }
 
 // PoolSet holds a network's recycled packet and datagram free lists. Pool
@@ -37,7 +42,21 @@ type PoolSet struct {
 	// batchFree recycles the datagram-batch containers that carry packet
 	// trains across the one delivery event a train shares.
 	batchFree []*dgBatch
+	// dgGets and dgPuts count datagram pool traffic for leak accounting:
+	// at quiescence they must balance (see OutstandingDatagrams).
+	dgGets, dgPuts uint64
 }
+
+// OutstandingDatagrams reports pooled datagrams currently alive (handed
+// out by NewDatagram and not yet recycled). Zero at quiescence means no
+// drop path leaked a datagram.
+func (ps *PoolSet) OutstandingDatagrams() int64 {
+	return int64(ps.dgGets) - int64(ps.dgPuts)
+}
+
+// OutstandingPackets reports pooled netem packets currently alive; zero at
+// quiescence means every wrapper came back, delivered or dropped.
+func (ps *PoolSet) OutstandingPackets() int64 { return ps.pkts.Outstanding() }
 
 // dgBatch is a pooled container for a train's datagrams, the argument of
 // the single delivery event a train costs (instead of one event per
@@ -71,7 +90,7 @@ func (n *Network) putBatch(b *dgBatch) {
 // NewNetwork creates an empty network on the given event loop, with its
 // own private pools.
 func NewNetwork(loop *sim.Loop) *Network {
-	return &Network{loop: loop, pools: &PoolSet{}}
+	return NewNetworkPooled(loop, nil)
 }
 
 // NewNetworkPooled creates an empty network that draws from (and returns
@@ -80,7 +99,45 @@ func NewNetworkPooled(loop *sim.Loop, pools *PoolSet) *Network {
 	if pools == nil {
 		pools = &PoolSet{}
 	}
-	return &Network{loop: loop, pools: pools}
+	n := &Network{loop: loop, pools: pools}
+	// Dropped wrappers release their datagram (and, through the
+	// transport's hook, its payload) right at the drop point. A PoolSet
+	// threaded through sequential networks is re-pointed at each new
+	// network; only one runs at a time, so the latest binding is always
+	// the live one.
+	pools.pkts.ReleasePayload = n.releaseDroppedPacket
+	return n
+}
+
+// Pools exposes the network's pool set, for leak accounting in tests.
+func (n *Network) Pools() *PoolSet { return n.pools }
+
+// SetPayloadRelease installs the transport's drop hook: fn receives the
+// payload of every datagram the network drops, so reference-counted
+// transport objects (tcpsim segments) are released instead of leaking to
+// the garbage collector. The transport installs it once per stack; payloads
+// of other types must be ignored by fn.
+func (n *Network) SetPayloadRelease(fn func(payload any)) { n.payloadRelease = fn }
+
+// releaseDroppedPacket is the packet pool's drop hook: a netem box dropped
+// a wrapper (qdisc tail/AQM drop, loss), so the datagram inside is dead —
+// release its payload through the transport and recycle it.
+func (n *Network) releaseDroppedPacket(payload any) {
+	dg, ok := payload.(*Datagram)
+	if !ok {
+		return
+	}
+	n.dropDatagram(dg)
+}
+
+// dropDatagram consumes a datagram that will never reach a socket:
+// the transport's payload hook releases the wire copy's reference, then
+// the datagram itself is recycled.
+func (n *Network) dropDatagram(dg *Datagram) {
+	if n.payloadRelease != nil && dg.Payload != nil {
+		n.payloadRelease(dg.Payload)
+	}
+	n.freeDatagram(dg)
 }
 
 // NewDatagram returns a zeroed datagram from the network's pool. Pooled
@@ -90,6 +147,7 @@ func NewNetworkPooled(loop *sim.Loop, pools *PoolSet) *Network {
 // whose lifetime the transport manages. Datagrams built with a composite
 // literal are never recycled, so existing callers are unaffected.
 func (n *Network) NewDatagram() *Datagram {
+	n.pools.dgGets++
 	free := n.pools.dgFree
 	if ln := len(free); ln > 0 {
 		dg := free[ln-1]
@@ -105,6 +163,7 @@ func (n *Network) freeDatagram(dg *Datagram) {
 	if !dg.pooled {
 		return
 	}
+	n.pools.dgPuts++
 	*dg = Datagram{pooled: true}
 	n.pools.dgFree = append(n.pools.dgFree, dg)
 }
@@ -366,17 +425,18 @@ func (ns *Namespace) receive(dg *Datagram) {
 		ns.net.freeDatagram(dg)
 		return
 	}
-	// Forward.
+	// Forward. Drops here consume a datagram that already entered the
+	// network, so the wire copy's payload reference is released too.
 	dg.TTL--
 	if dg.TTL <= 0 {
 		ns.stats.TTLExceeded++
-		ns.net.freeDatagram(dg)
+		ns.net.dropDatagram(dg)
 		return
 	}
 	via := ns.lookup(dg.Dst.Addr)
 	if via == nil {
 		ns.stats.NoRoute++
-		ns.net.freeDatagram(dg)
+		ns.net.dropDatagram(dg)
 		return
 	}
 	ns.stats.Forwarded++
@@ -391,9 +451,14 @@ func (ns *Namespace) deliverLocal(dg *Datagram) {
 		ns.stats.DeliveredLocal++
 		h(dg)
 	} else {
+		// No socket: nothing consumed the payload, so release the wire
+		// copy's reference before recycling.
 		ns.stats.NoSocket++
+		ns.net.dropDatagram(dg)
+		return
 	}
-	// The handler (if any) has returned; the datagram is consumed.
+	// The handler has returned; the datagram is consumed (the handler
+	// released or retained the payload itself).
 	ns.net.freeDatagram(dg)
 }
 
@@ -411,12 +476,16 @@ func (le *LinkEnd) Namespace() *Namespace { return le.ns }
 func (le *LinkEnd) Pipeline() *netem.Pipeline { return le.pipe }
 
 // transmit pushes a datagram into this end's egress pipeline, wrapped in a
-// pooled packet that the far sink recycles on arrival.
+// pooled packet that the far sink recycles on arrival. The ECN bits ride
+// the wrapper: ECT so the link's AQM knows it may mark, CE so a mark
+// acquired on an earlier hop survives re-wrapping.
 func (le *LinkEnd) transmit(dg *Datagram) {
 	pkt := le.ns.net.pools.pkts.Get()
 	pkt.Size = dg.Size
 	pkt.Flow = dg.Flow
 	pkt.Seq = dg.Seq
+	pkt.ECT = dg.ECT
+	pkt.CE = dg.CE
 	pkt.Payload = dg
 	le.pipe.Send(pkt)
 }
@@ -459,6 +528,9 @@ func Connect(a, b *Namespace, ab, ba *netem.Pipeline) (*LinkEnd, *LinkEnd) {
 	sinks := func(dst *Namespace) (netem.Sink, netem.BatchSink) {
 		sink := func(p *netem.Packet) {
 			dg := p.Payload.(*Datagram)
+			if p.CE {
+				dg.CE = true // the link's AQM marked this packet
+			}
 			net.pools.pkts.Put(p)
 			loop.ScheduleArg(0, dst.recvArg, dg)
 		}
@@ -469,7 +541,11 @@ func Connect(a, b *Namespace, ab, ba *netem.Pipeline) (*LinkEnd, *LinkEnd) {
 			}
 			batch := net.getBatch()
 			for _, p := range pkts {
-				batch.dgs = append(batch.dgs, p.Payload.(*Datagram))
+				dg := p.Payload.(*Datagram)
+				if p.CE {
+					dg.CE = true
+				}
+				batch.dgs = append(batch.dgs, dg)
 				net.pools.pkts.Put(p)
 			}
 			loop.ScheduleArg(0, dst.recvBatchArg, batch)

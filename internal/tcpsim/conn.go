@@ -56,6 +56,11 @@ type Stats struct {
 	Retransmits     uint64
 	FastRetransmits uint64
 	Timeouts        uint64
+	// ECNMarksSeen counts inbound segments that arrived CE-marked;
+	// ECNReductions counts the once-per-RTT congestion-window cuts the
+	// echoed marks caused on the sending side (RFC 3168 §6.1.2).
+	ECNMarksSeen  uint64
+	ECNReductions uint64
 	// SRTT is the smoothed RTT estimate (zero before the first sample).
 	SRTT sim.Time
 }
@@ -120,9 +125,20 @@ type Conn struct {
 	// FIN bookkeeping.
 	appClosed bool
 	finSent   bool
+	// ECN state (RFC 3168). ectOK records a successful handshake
+	// negotiation; ecnRecover is the sender's once-per-RTT guard (further
+	// ECE echoes are ignored until this sequence is cumulatively acked);
+	// cwrPending asks the next outgoing sequence-consuming segment to
+	// carry CWR, telling the receiver its echo was heard.
+	ectOK      bool
+	ecnRecover uint64
+	cwrPending bool
 
 	// Receiver state.
 	rcvNxt uint64
+	// ceEcho makes every outgoing ACK carry ECE, from the first CE-marked
+	// arrival until the sender answers with CWR (RFC 3168 §6.1.3).
+	ceEcho bool
 	ooo    map[uint64]*Segment
 	// sackList is the sorted, disjoint set of out-of-order byte ranges the
 	// receiver holds, maintained incrementally so ACK generation is O(1)
@@ -191,6 +207,10 @@ func (c *Conn) Statistics() Stats {
 // Cwnd returns the current congestion window in bytes, for tests and
 // instrumentation.
 func (c *Conn) Cwnd() int { return c.cwnd }
+
+// ECNNegotiated reports whether the handshake agreed on ECN: this side
+// sends ECT datagrams and the pair exchanges CE echoes per RFC 3168.
+func (c *Conn) ECNNegotiated() bool { return c.ectOK }
 
 // OnEstablished registers a callback invoked once when the handshake
 // completes. If the connection is already established it fires on the next
@@ -321,6 +341,10 @@ func (c *Conn) Abort() {
 func (c *Conn) sendSYN() {
 	syn := c.stack.newSegment()
 	syn.Flags = FlagSYN
+	if c.stack.ecn {
+		// ECN-setup SYN (RFC 3168 §6.1.1): offer ECN with ECE|CWR.
+		syn.Flags |= FlagECE | FlagCWR
+	}
 	c.sndNxt = 1
 	c.track(syn)
 	c.transmit(syn)
@@ -349,7 +373,7 @@ func (c *Conn) pump() {
 			n = MSS
 		}
 		seg := c.stack.newSegment()
-		seg.Flags = FlagACK
+		seg.Flags = FlagACK | c.ecnFlags()
 		seg.Seq = c.sndNxt
 		seg.Ack = c.rcvNxt
 		c.nextSegment(seg, n)
@@ -360,7 +384,7 @@ func (c *Conn) pump() {
 	}
 	if c.appClosed && c.sendLen == 0 && !c.finSent {
 		fin := c.stack.newSegment()
-		fin.Flags = FlagFIN | FlagACK
+		fin.Flags = FlagFIN | FlagACK | c.ecnFlags()
 		fin.Seq = c.sndNxt
 		fin.Ack = c.rcvNxt
 		c.sndNxt++
@@ -377,6 +401,24 @@ func (c *Conn) pump() {
 	c.maybeFinish()
 }
 
+// ecnFlags assembles the ECN bits for a new sequence-consuming segment:
+// ECE while this side is echoing CE marks, and a one-shot CWR answering
+// the peer's echo after a window reduction.
+func (c *Conn) ecnFlags() Flags {
+	if !c.ectOK {
+		return 0
+	}
+	var f Flags
+	if c.ceEcho {
+		f |= FlagECE
+	}
+	if c.cwrPending {
+		f |= FlagCWR
+		c.cwrPending = false
+	}
+	return f
+}
+
 // track records a sequence-consuming segment for retransmission.
 func (c *Conn) track(seg *Segment) {
 	c.rtxq = append(c.rtxq, sentSeg{seg: seg, sentAt: c.stack.loop.Now(), inFlight: true})
@@ -385,8 +427,9 @@ func (c *Conn) track(seg *Segment) {
 
 // transmit sends a segment, counting it. Each wire copy entering the
 // network takes a segment reference, released by the receiving stack once
-// the copy has been handled (copies dropped inside the network keep their
-// reference forever, which simply exempts that segment from recycling).
+// the copy has been handled; a copy dropped inside the network releases
+// its reference through the drop-release chain (the network's payload
+// hook, see releasePayload), so dropped segments recycle too.
 func (c *Conn) transmit(seg *Segment) {
 	c.stats.SegmentsSent++
 	c.stack.retain(seg)
@@ -399,8 +442,9 @@ func (c *Conn) transmit(seg *Segment) {
 	}
 }
 
-// handleSegment is the single entry point for inbound segments.
-func (c *Conn) handleSegment(seg *Segment) {
+// handleSegment is the single entry point for inbound segments. ce reports
+// that the datagram carrying this wire copy arrived CE-marked.
+func (c *Conn) handleSegment(seg *Segment, ce bool) {
 	if c.state == StateClosed {
 		return
 	}
@@ -414,6 +458,11 @@ func (c *Conn) handleSegment(seg *Segment) {
 	case StateSynSent:
 		// Expect SYN-ACK.
 		if seg.Flags&FlagSYN != 0 && seg.Flags&FlagACK != 0 && seg.Ack >= 1 {
+			// ECE alone on the SYN-ACK accepts our ECN offer (ECE|CWR
+			// would be another offer, not an acceptance).
+			if c.stack.ecn && seg.Flags&(FlagECE|FlagCWR) == FlagECE {
+				c.ectOK = true
+			}
 			c.rcvNxt = seg.Seq + 1
 			c.processAck(seg.Ack, false)
 			c.establish()
@@ -428,6 +477,11 @@ func (c *Conn) handleSegment(seg *Segment) {
 				c.rcvNxt = seg.Seq + 1
 				synAck := c.stack.newSegment()
 				synAck.Flags = FlagSYN | FlagACK
+				if c.stack.ecn && seg.Flags&(FlagECE|FlagCWR) == FlagECE|FlagCWR {
+					// Accept the ECN-setup SYN (RFC 3168 §6.1.1).
+					c.ectOK = true
+					synAck.Flags |= FlagECE
+				}
 				synAck.Ack = c.rcvNxt
 				c.sndNxt = 1
 				c.track(synAck)
@@ -452,13 +506,35 @@ func (c *Conn) handleSegment(seg *Segment) {
 	if c.state == StateClosed {
 		return // a callback above (e.g. Abort inside OnEstablished) closed us
 	}
-	// Established / closing path.
+	// Established / closing path. ECN receiver side first: a CWR from the
+	// peer acknowledges our echo (stop it), a CE mark on this arrival
+	// (re)starts it — in that order, so a segment carrying both leaves the
+	// echo running for the fresh mark.
+	if c.ectOK {
+		if seg.Flags&FlagCWR != 0 {
+			c.ceEcho = false
+		}
+		if ce {
+			c.stats.ECNMarksSeen++
+			c.ceEcho = true
+		}
+	}
 	if seg.Flags&FlagACK != 0 {
 		c.markSacked(seg.Sack)
 		// Only a pure ACK (no sequence-consuming payload) can be a
 		// duplicate ACK (RFC 5681): segments that carry data piggyback a
 		// possibly stale ack number and must not trigger fast retransmit.
 		c.processAck(seg.Ack, seg.SeqLen() == 0)
+		// The ECN reaction runs after the cumulative ack has advanced, as
+		// Linux does: an ECE arriving with the ack that completes the
+		// previous reduction's window opens the gate for the next one.
+		// SYN-flagged segments are excluded: a retransmitted SYN-ACK's ECE
+		// is the negotiation-accept bit (RFC 3168 §6.1.1), not a
+		// congestion echo.
+		if c.state != StateClosed && c.ectOK &&
+			seg.Flags&FlagECE != 0 && seg.Flags&FlagSYN == 0 {
+			c.onECE()
+		}
 	}
 	if c.state == StateClosed {
 		return
@@ -593,6 +669,23 @@ func (c *Conn) processAck(ack uint64, pureAck bool) {
 			c.enterFastRecovery()
 		}
 	}
+}
+
+// onECE is the sender's ECN congestion response (RFC 3168 §6.1.2): reduce
+// the congestion window as a loss would — same multiplicative decrease,
+// through the configured algorithm — but retransmit nothing, since the
+// marked packet was delivered. The reduction happens at most once per RTT:
+// echoes are ignored until everything outstanding at the previous
+// reduction has been acked, and while loss recovery is already reducing.
+func (c *Conn) onECE() {
+	if c.sndUna < c.ecnRecover || c.inRecovery {
+		return
+	}
+	c.stats.ECNReductions++
+	c.ssthresh = c.onLossCC()
+	c.cwnd = c.ssthresh
+	c.ecnRecover = c.sndNxt
+	c.cwrPending = true
 }
 
 // exitRecovery leaves fast recovery, deflating the window to ssthresh.
@@ -853,6 +946,9 @@ func (c *Conn) sendAck() {
 	}
 	ack := c.stack.newSegment()
 	ack.Flags = FlagACK
+	if c.ectOK && c.ceEcho {
+		ack.Flags |= FlagECE // echo the CE mark until the sender answers CWR
+	}
 	ack.Seq = c.sndNxt
 	ack.Ack = c.rcvNxt
 	ack.Sack = c.appendSackRanges(ack.Sack)

@@ -41,12 +41,17 @@ const (
 // Flags is a bitmask of TCP control flags.
 type Flags uint8
 
-// Flag values.
+// Flag values. ECE and CWR are the ECN signalling pair of RFC 3168: the
+// receiver echoes a CE mark with ECE on its ACKs until the sender answers
+// with CWR; on the SYN exchange the same bits negotiate ECN capability
+// (SYN carrying ECE|CWR offers, SYN-ACK carrying ECE alone accepts).
 const (
 	FlagSYN Flags = 1 << iota
 	FlagACK
 	FlagFIN
 	FlagRST
+	FlagECE
+	FlagCWR
 )
 
 // String formats flags as e.g. "SYN|ACK".
@@ -63,6 +68,12 @@ func (f Flags) String() string {
 	}
 	if f&FlagRST != 0 {
 		parts = append(parts, "RST")
+	}
+	if f&FlagECE != 0 {
+		parts = append(parts, "ECE")
+	}
+	if f&FlagCWR != 0 {
+		parts = append(parts, "CWR")
 	}
 	if len(parts) == 0 {
 		return "none"
@@ -98,8 +109,12 @@ type Segment struct {
 	// copies, and the receiver's reassembly buffer; refs counts those
 	// holders and the segment is recycled only when it reaches zero. pooled
 	// is false for hand-built segments (tests), which are never recycled.
+	// pool is the segment's origin pool, so a reference dropped anywhere —
+	// including by the network's drop-release hook, which has no Stack in
+	// scope — can recycle the segment without knowing who allocated it.
 	refs   int32
 	pooled bool
+	pool   *SegmentPool
 }
 
 // SeqLen is the amount of sequence space the segment occupies: its payload

@@ -20,6 +20,7 @@ type Stack struct {
 	ns        *nsim.Namespace
 	loop      *sim.Loop
 	cc        CongestionAlgorithm
+	ecn       bool
 	conns     map[fourTuple]*Conn
 	listeners map[nsim.AddrPort]func(*Conn)
 	boundPort map[uint16]bool // listener ports already bound on the namespace
@@ -46,12 +47,22 @@ type Stack struct {
 // worker rather than once per simulation.
 type SegmentPool struct {
 	free []*Segment
+	// gets and puts count pool traffic for leak accounting: every
+	// newSegment is balanced by exactly one final releaseSegment once all
+	// references drop, so at quiescence (all connections closed, nothing
+	// in flight) they must balance.
+	gets, puts uint64
 }
+
+// Outstanding reports live pool segments (allocated and not yet recycled).
+// Zero at quiescence means no drop or teardown path leaked a reference.
+func (p *SegmentPool) Outstanding() int64 { return int64(p.gets) - int64(p.puts) }
 
 // newSegment returns a zeroed segment with one reference (the creator's).
 // Data and Sack retain their recycled capacity.
 func (s *Stack) newSegment() *Segment {
 	pool := s.segs
+	pool.gets++
 	if n := len(pool.free); n > 0 {
 		seg := pool.free[n-1]
 		pool.free[n-1] = nil
@@ -59,7 +70,7 @@ func (s *Stack) newSegment() *Segment {
 		seg.refs = 1
 		return seg
 	}
-	return &Segment{refs: 1, pooled: true}
+	return &Segment{refs: 1, pooled: true, pool: pool}
 }
 
 // retain adds a reference to a pooled segment (e.g. a wire copy entering
@@ -70,11 +81,18 @@ func (s *Stack) retain(seg *Segment) {
 	}
 }
 
-// release drops one reference; the last release recycles the segment.
-// Callers must be done reading the segment before releasing: recycling
-// truncates Data/Sack in place and a later newSegment reuses their backing
-// arrays. Hand-built (non-pooled) segments are ignored.
-func (s *Stack) release(seg *Segment) {
+// release drops one reference; the last release recycles the segment into
+// its origin pool. Callers must be done reading the segment before
+// releasing: recycling truncates Data/Sack in place and a later newSegment
+// reuses their backing arrays. Hand-built (non-pooled) segments are
+// ignored.
+func (s *Stack) release(seg *Segment) { releaseSegment(seg) }
+
+// releaseSegment is Stack.release without a stack in scope: the network's
+// drop-release hook uses it to return the wire copy's reference when a
+// queue discipline (or any other network drop path) discards a segment in
+// flight.
+func releaseSegment(seg *Segment) {
 	if !seg.pooled {
 		return
 	}
@@ -88,7 +106,17 @@ func (s *Stack) release(seg *Segment) {
 	// other segments may still be in flight: drop it rather than reuse it.
 	seg.Data = nil
 	seg.Sack = seg.Sack[:0]
-	s.segs.free = append(s.segs.free, seg)
+	seg.pool.puts++
+	seg.pool.free = append(seg.pool.free, seg)
+}
+
+// releasePayload is the hook tcpsim installs on the network (see
+// nsim.Network.SetPayloadRelease): the payload of a dropped datagram, when
+// it is a segment, gives back the wire copy's reference.
+func releasePayload(payload any) {
+	if seg, ok := payload.(*Segment); ok {
+		releaseSegment(seg)
+	}
 }
 
 // SetCongestion selects the congestion-control algorithm for connections
@@ -97,6 +125,17 @@ func (s *Stack) SetCongestion(cc CongestionAlgorithm) { s.cc = cc }
 
 // Congestion reports the stack's configured algorithm.
 func (s *Stack) Congestion() CongestionAlgorithm { return s.cc }
+
+// SetECN enables ECN (RFC 3168) for connections created after the call:
+// outgoing SYNs offer it, incoming ECN-setup SYNs are accepted, and
+// negotiated connections send ECT datagrams and react to echoed CE marks
+// with a once-per-RTT window reduction instead of a retransmission.
+// Default off, which leaves the wire behavior bit-identical to a stack
+// built before ECN existed.
+func (s *Stack) SetECN(on bool) { s.ecn = on }
+
+// ECN reports whether the stack negotiates ECN on new connections.
+func (s *Stack) ECN() bool { return s.ecn }
 
 // NewStack creates a TCP engine for the namespace with a private segment
 // pool.
@@ -119,6 +158,9 @@ func NewStackPool(ns *nsim.Namespace, segs *SegmentPool) *Stack {
 		segs:      segs,
 	}
 	ns.SetRxBatchHooks(s.beginRxBatch, s.endRxBatch)
+	// Close the drop-release chain: a datagram dropped anywhere in the
+	// network gives its segment reference back to the pool.
+	ns.Network().SetPayloadRelease(releasePayload)
 	return s
 }
 
@@ -139,6 +181,9 @@ func (s *Stack) endRxBatch() {
 
 // Namespace returns the stack's namespace.
 func (s *Stack) Namespace() *nsim.Namespace { return s.ns }
+
+// Segments exposes the stack's segment pool, for leak accounting in tests.
+func (s *Stack) Segments() *SegmentPool { return s.segs }
 
 // Loop returns the stack's event loop.
 func (s *Stack) Loop() *sim.Loop { return s.loop }
@@ -178,7 +223,7 @@ func (s *Stack) Dial(laddr nsim.Addr, raddr nsim.AddrPort) (*Conn, error) {
 			return
 		}
 		if c != nil {
-			c.handleSegment(seg)
+			c.handleSegment(seg, dg.CE)
 		}
 		s.release(seg) // the wire copy's reference
 	})
@@ -207,7 +252,7 @@ func (s *Stack) receive(dg *nsim.Datagram) {
 	}
 	key := fourTuple{local: dg.Dst, remote: dg.Src}
 	if c, ok := s.conns[key]; ok {
-		c.handleSegment(seg)
+		c.handleSegment(seg, dg.CE)
 		s.release(seg)
 		return
 	}
@@ -224,7 +269,7 @@ func (s *Stack) receive(dg *nsim.Datagram) {
 	c := newConn(s, dg.Dst, dg.Src, true)
 	c.acceptFn = accept
 	s.conns[key] = c
-	c.handleSegment(seg)
+	c.handleSegment(seg, dg.CE)
 	s.release(seg)
 }
 
@@ -256,6 +301,12 @@ func (s *Stack) send(c *Conn, seg *Segment) error {
 	dg.Size = seg.WireSize()
 	dg.Flow = c.flow
 	dg.Seq = int64(seg.Seq)
+	// Every datagram of a negotiated connection is ECT, pure ACKs
+	// included (the ECN++ stance of RFC 8311 experiments, rather than
+	// RFC 3168's data-only ECT): on a marking-AQM path the connection
+	// then never loses a packet to the control law, only to buffer
+	// overflow. The SYN predates negotiation, so it is never ECT.
+	dg.ECT = c.ectOK
 	dg.Payload = seg
 	return s.ns.Send(dg)
 }
