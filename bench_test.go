@@ -293,13 +293,22 @@ func BenchmarkQdisc(b *testing.B) {
 		{"pie-mark", true, func() netem.Qdisc {
 			return netem.NewPIE(netem.PIEConfig{MaxPackets: 256, ECN: true})
 		}},
+		// The fq rows spread the burst over 8 flows (Flow = i mod 8 below),
+		// so every op runs the full RFC 8290 path: hashing, DRR rotation
+		// through all buckets, and each bucket's own CoDel law.
+		{"fqcodel", false, func() netem.Qdisc {
+			return netem.NewFQCoDel(netem.FQCoDelConfig{MaxPackets: 256, Flows: 8})
+		}},
+		{"fqcodel-mark", true, func() netem.Qdisc {
+			return netem.NewFQCoDel(netem.FQCoDelConfig{MaxPackets: 256, Flows: 8, ECN: true})
+		}},
 	}
 	for _, tc := range cases {
 		b.Run(tc.name, func(b *testing.B) {
 			q := tc.mk()
 			pkts := make([]*netem.Packet, burst)
 			for i := range pkts {
-				pkts[i] = &netem.Packet{Size: netem.MTU, ECT: tc.ect}
+				pkts[i] = &netem.Packet{Size: netem.MTU, ECT: tc.ect, Flow: uint64(i % 8)}
 			}
 			now := sim.Time(0)
 			step := func() {

@@ -5,14 +5,17 @@
 //	mm-link -rate 14 -delay 30            (constant-rate links, no files)
 //	mm-link -rate 14 -uplink-queue codel -downlink-queue codel
 //	mm-link -rate 12 -ecn -downlink-queue pie -pie-ecn
+//	mm-link -rate 12 -ecn -downlink-queue fq_codel -fq-ecn -fq-flows 256
 //
 // The queue flags mirror Mahimahi's --uplink-queue/--downlink-queue:
 // droptail (default), infinite, codel (RFC 8289, parameterized by
-// -codel-target/-codel-interval) or pie (RFC 8033, parameterized by
-// -pie-target/-pie-tupdate), with -queue/-queue-bytes bounding the buffer
-// in packets/bytes. -codel-ecn and -pie-ecn switch the AQM from dropping
-// to CE-marking ECT packets; -ecn makes the replayed connections negotiate
-// ECN so their traffic actually is ECT.
+// -codel-target/-codel-interval), pie (RFC 8033, parameterized by
+// -pie-target/-pie-tupdate) or fq_codel (RFC 8290, parameterized by
+// -fq-flows/-fq-quantum plus the codel target/interval flags), with
+// -queue/-queue-bytes bounding the buffer in packets/bytes. -codel-ecn,
+// -pie-ecn and -fq-ecn switch the AQM from dropping to CE-marking ECT
+// packets; -ecn makes the replayed connections negotiate ECN so their
+// traffic actually is ECT.
 //
 // Trace files use Mahimahi's format: one millisecond timestamp per line,
 // each line one MTU-sized packet-delivery opportunity.
@@ -45,6 +48,9 @@ func main() {
 	pieTarget := flag.Int("pie-target", 15, "pie queue-delay reference, ms (RFC 8033 QDELAY_REF)")
 	pieTUpdate := flag.Int("pie-tupdate", 15, "pie probability-update period, ms (RFC 8033 T_UPDATE)")
 	pieECN := flag.Bool("pie-ecn", false, "pie marks ECT packets instead of dropping (RFC 8033 §5.1)")
+	fqFlows := flag.Int("fq-flows", 0, "fq_codel flow buckets (0 = RFC 8290 default, 1024)")
+	fqQuantum := flag.Int("fq-quantum", 0, "fq_codel DRR quantum in bytes (0 = one MTU)")
+	fqECN := flag.Bool("fq-ecn", false, "fq_codel marks ECT packets instead of dropping (RFC 8290 §4.3)")
 	ecn := flag.Bool("ecn", false, "negotiate ECN on the replayed connections (their traffic becomes ECT)")
 	servers := flag.Int("servers", 12, "synthetic origin count")
 	seed := flag.Uint64("seed", 1, "synthesis seed")
@@ -53,9 +59,9 @@ func main() {
 
 	mkSpec := func(kind, flagName string) netem.QdiscSpec {
 		switch kind {
-		case netem.QdiscDropTail, netem.QdiscInfinite, netem.QdiscCoDel, netem.QdiscPIE:
+		case netem.QdiscDropTail, netem.QdiscInfinite, netem.QdiscCoDel, netem.QdiscPIE, netem.QdiscFQCoDel:
 		default:
-			fatal(fmt.Errorf("unknown %s %q (want droptail|infinite|codel|pie)", flagName, kind))
+			fatal(fmt.Errorf("unknown %s %q (want droptail|infinite|codel|pie|fq_codel)", flagName, kind))
 		}
 		spec := netem.QdiscSpec{Kind: kind, Packets: *queue, Bytes: *queueBytes}
 		if kind == netem.QdiscCoDel {
@@ -67,6 +73,13 @@ func main() {
 			spec.Target = sim.Time(*pieTarget) * sim.Millisecond
 			spec.TUpdate = sim.Time(*pieTUpdate) * sim.Millisecond
 			spec.ECN = *pieECN
+		}
+		if kind == netem.QdiscFQCoDel {
+			spec.Target = sim.Time(*codelTarget) * sim.Millisecond
+			spec.Interval = sim.Time(*codelInterval) * sim.Millisecond
+			spec.Flows = *fqFlows
+			spec.Quantum = *fqQuantum
+			spec.ECN = *fqECN
 		}
 		return spec
 	}

@@ -193,6 +193,11 @@ type load struct {
 	children   [][]int
 	childFired []bool
 	pools      map[originKey]*pool
+	// poolOrder lists pools in creation order. Completion iterates it —
+	// never the map — so the close-time FIN segments (which flow through
+	// the qdisc like any other packet) hit the wire in a deterministic
+	// order rather than map-iteration order.
+	poolOrder []*pool
 	// resolving dedupes concurrent DNS lookups per host.
 	resolved  map[string]nsim.Addr
 	resolving map[string][]func(nsim.Addr)
@@ -363,6 +368,7 @@ func (l *load) enqueue(f *fetch, addr nsim.Addr) {
 	if !ok {
 		p = &pool{addr: addr, port: f.res.Port}
 		l.pools[key] = p
+		l.poolOrder = append(l.poolOrder, p)
 	}
 	p.queue = append(p.queue, f)
 	l.pump(p)
@@ -565,7 +571,7 @@ func (l *load) complete() {
 	// Close all connections so the event loop drains. Every response has
 	// been fully parsed by now (completion requires all bodies), so the
 	// parsers — and their recycled body buffers — go back to the scratch.
-	for _, p := range l.pools {
+	for _, p := range l.poolOrder {
 		for _, pc := range p.conns {
 			if pc.parser != nil {
 				l.sc.parsers = append(l.sc.parsers, pc.parser)

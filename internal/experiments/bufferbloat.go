@@ -18,13 +18,17 @@ import (
 
 // BufferbloatConfig declares the bufferbloat experiment: a long bulk TCP
 // flow shares a trace-driven link with a page load, swept over qdisc
-// {droptail-deep, droptail-shallow, codel, codel-ecn, pie, pie-ecn} ×
-// link trace {constant, cellular}. This is the scenario class the qdisc
-// layer exists for — with only droptail queues, self-inflicted queueing
-// delay under deep buffers (and the AQMs' answers to it) was unreachable;
-// the ECN cells additionally exercise the marking feedback loop, where the
-// AQM signals congestion without destroying packets and the transports cut
-// their windows on echoed CE marks instead of retransmitting.
+// {droptail-deep, droptail-shallow, codel, codel-ecn, pie, pie-ecn,
+// fq_codel, fq_codel-ecn} × link trace {constant, cellular}. This is the
+// scenario class the qdisc layer exists for — with only droptail queues,
+// self-inflicted queueing delay under deep buffers (and the AQMs' answers
+// to it) was unreachable; the ECN cells additionally exercise the marking
+// feedback loop, where the AQM signals congestion without destroying
+// packets and the transports cut their windows on echoed CE marks instead
+// of retransmitting. The fq_codel cells separate the bulk flow from the
+// page's flows entirely: each gets its own CoDel-controlled bucket, so the
+// fairness table's web-flow delay no longer depends on the bulk flow's
+// standing queue at all.
 type BufferbloatConfig struct {
 	// Seed roots the scenario matrix and the cellular trace synthesis.
 	Seed uint64
@@ -43,6 +47,10 @@ type BufferbloatConfig struct {
 	// defaults). The PIE cells run the RFC 8033 defaults.
 	Target   sim.Time
 	Interval sim.Time
+	// FQFlows and FQQuantum parameterize the fq_codel cells (zero = RFC
+	// 8290 defaults: 1024 buckets, one-MTU quantum).
+	FQFlows   int
+	FQQuantum int
 	// OneWayDelay is the propagation delay either side of the queue.
 	OneWayDelay sim.Time
 }
@@ -97,6 +105,12 @@ type FairnessRow struct {
 	BulkBytes, WebBytes uint64
 	// BulkMeanQMs and WebMeanQMs are per-class mean sojourn times.
 	BulkMeanQMs, WebMeanQMs float64
+	// BulkP95QMs and WebP95QMs are per-class p95 sojourn times, from the
+	// per-flow distributions TrackFlowSojourns records. BulkP95QMs is the
+	// bulk flow's own p95; WebP95QMs is the median web flow's p95 (see
+	// medianFlowP95) — the typical page flow's tail queueing delay, the
+	// number flow queueing exists to decouple from the bulk backlog.
+	BulkP95QMs, WebP95QMs float64
 	// BulkDrops/WebDrops and BulkMarks/WebMarks split the queue's losses
 	// and CE marks (tail + AQM drops combined).
 	BulkDrops, WebDrops uint64
@@ -130,6 +144,11 @@ func bufferbloatQdiscs(cfg BufferbloatConfig) []netem.QdiscSpec {
 	pie := netem.QdiscSpec{Kind: netem.QdiscPIE, Packets: cfg.DeepPackets}
 	pieECN := pie
 	pieECN.ECN = true
+	fq := netem.QdiscSpec{Kind: netem.QdiscFQCoDel, Packets: cfg.DeepPackets,
+		Target: cfg.Target, Interval: cfg.Interval,
+		Flows: cfg.FQFlows, Quantum: cfg.FQQuantum}
+	fqECN := fq
+	fqECN.ECN = true
 	return []netem.QdiscSpec{
 		{Packets: cfg.DeepPackets},    // droptail-deep: the bufferbloated buffer
 		{Packets: cfg.ShallowPackets}, // droptail-shallow: low delay, lossy
@@ -137,6 +156,8 @@ func bufferbloatQdiscs(cfg BufferbloatConfig) []netem.QdiscSpec {
 		codelECN,                      // same law, CE-marking ECT packets
 		pie,                           // RFC 8033 on the deep buffer, dropping
 		pieECN,                        // PIE marking
+		fq,                            // RFC 8290: per-flow CoDel + DRR
+		fqECN,                         // fq_codel marking
 	}
 }
 
@@ -214,6 +235,8 @@ func Bufferbloat(cfg BufferbloatConfig) BufferbloatResult {
 				BulkMarks:   uint64(vals[15]),
 				WebMarks:    uint64(vals[16]),
 				Jain:        vals[17],
+				BulkP95QMs:  vals[18],
+				WebP95QMs:   vals[19],
 			},
 		})
 	}
@@ -252,8 +275,9 @@ func bufferbloatCell(cfg BufferbloatConfig, page *webgen.Page, site *archive.Sit
 	// does with the same contended seconds.
 	sojourn := stats.NewAccumulator()
 	downQ.QueueStats().RecordSojourn(sojourn)
-	// Per-flow attribution on the contended queue feeds the fairness table.
-	downQ.QueueStats().TrackFlows()
+	// Per-flow attribution on the contended queue feeds the fairness table;
+	// the per-flow sojourn distributions feed its per-class p95 columns.
+	downQ.QueueStats().TrackFlowSojourns()
 	upPipe := netem.NewPipeline(
 		netem.NewDelayBox(loop, cfg.OneWayDelay),
 		netem.NewTraceBox(loop, up.Cursor(), upQ),
@@ -342,6 +366,7 @@ func fairnessVals(qs *netem.QueueStats) []float64 {
 		}
 	}
 	var bulk, web netem.FlowQueueStats
+	var bulkSamples, webSamples []*stats.Sample
 	for _, id := range ids {
 		f := qs.Flow(id)
 		into := &web
@@ -354,7 +379,17 @@ func fairnessVals(qs *netem.QueueStats) []float64 {
 		into.AQMMarks += f.AQMMarks
 		into.SojournCount += f.SojournCount
 		into.SojournSum += f.SojournSum
+		if id == bulkID {
+			bulkSamples = append(bulkSamples, f.SojournSample())
+		} else {
+			webSamples = append(webSamples, f.SojournSample())
+		}
 	}
+	// Per-class sojourn distributions: flow ids are iterated in ascending
+	// order, so the merged samples — and their percentiles — are
+	// deterministic.
+	bulkP95 := stats.MergeSamples(bulkSamples...).Percentile(95)
+	webP95 := medianFlowP95(webSamples)
 	// Jain's index over the two classes' delivered bytes:
 	// (b+w)^2 / (2*(b^2+w^2)), 1.0 for an even split, 0.5 for starvation.
 	jain := 0.0
@@ -372,7 +407,26 @@ func fairnessVals(qs *netem.QueueStats) []float64 {
 		float64(bulk.AQMMarks),
 		float64(web.AQMMarks),
 		jain,
+		bulkP95,
+		webP95,
 	}
+}
+
+// medianFlowP95 is the median, across flows with at least one delivered
+// packet, of each flow's own p95 sojourn: the typical flow's tail queueing
+// delay. The aggregation is per-flow on purpose — a merged distribution is
+// dominated by the few fat-object flows whose tail is their own burst
+// draining at fair share (self-queueing their congestion control chose),
+// while the median flow's p95 isolates what the discipline imposes on a
+// flow from the outside: the shared standing queue, or nothing.
+func medianFlowP95(samples []*stats.Sample) float64 {
+	p95s := stats.NewAccumulator()
+	for _, s := range samples {
+		if s.Len() > 0 {
+			p95s.Add(s.Percentile(95))
+		}
+	}
+	return p95s.Sample().Median()
 }
 
 // String renders the sweep as two tables: the per-cell grid, then the
@@ -390,17 +444,19 @@ func (r BufferbloatResult) String() string {
 	b.WriteString("  -> deep droptail trades delay for loss; the AQMs hold queueing delay near target,\n")
 	b.WriteString("     and their -ecn modes do it by marking ECT flows instead of dropping\n")
 	b.WriteString("\nPer-flow fairness: downlink attribution, bulk flow vs the page's flows\n")
-	fmt.Fprintf(&b, "  %-10s %-16s %5s %8s %8s %6s %8s %8s %11s %11s %6s\n",
-		"link", "qdisc", "flows", "bulk KB", "web KB", "bulk%", "q^bulk", "q^web", "drops(b/w)", "marks(b/w)", "jain")
+	fmt.Fprintf(&b, "  %-10s %-16s %5s %8s %8s %6s %8s %8s %8s %11s %11s %6s\n",
+		"link", "qdisc", "flows", "bulk KB", "web KB", "bulk%", "q^bulk", "q^web", "p95^web", "drops(b/w)", "marks(b/w)", "jain")
 	for _, row := range r.Rows {
 		f := row.Fairness
-		fmt.Fprintf(&b, "  %-10s %-16s %5d %8.0f %8.0f %6.1f %7.1fms %7.1fms %5d/%-5d %5d/%-5d %6.3f\n",
+		fmt.Fprintf(&b, "  %-10s %-16s %5d %8.0f %8.0f %6.1f %7.1fms %7.1fms %7.1fms %5d/%-5d %5d/%-5d %6.3f\n",
 			row.Link, row.Qdisc.String(), f.Flows,
 			float64(f.BulkBytes)/1024, float64(f.WebBytes)/1024, f.BulkShare()*100,
-			f.BulkMeanQMs, f.WebMeanQMs,
+			f.BulkMeanQMs, f.WebMeanQMs, f.WebP95QMs,
 			f.BulkDrops, f.WebDrops, f.BulkMarks, f.WebMarks, f.Jain)
 	}
 	b.WriteString("  -> droptail shares by luck of the tail; the AQMs' per-packet law spreads the\n")
-	b.WriteString("     pain by arrival share, and marking shifts it off the wire entirely\n")
+	b.WriteString("     pain by arrival share, and marking shifts it off the wire entirely;\n")
+	b.WriteString("     fq_codel gives each flow its own CoDel'd bucket, so web packets never\n")
+	b.WriteString("     stand in the bulk flow's queue at all\n")
 	return b.String()
 }

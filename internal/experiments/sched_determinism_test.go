@@ -62,7 +62,13 @@ var schedArtifacts = map[string]func(parallel int) string{
 	// every droptail artifact; the codel-ecn, pie and pie-ecn cells extend
 	// the contract over the marking state machine, PIE's probability
 	// controller with its deterministic draw stream, the ECN negotiation
-	// and echo in tcpsim, and the per-flow fairness attribution.
+	// and echo in tcpsim, and the per-flow fairness attribution. The
+	// fq_codel and fq_codel-ecn cells (part of the default grid) add the
+	// RFC 8290 machinery: flow hashing, DRR rotation with new/old lists,
+	// per-bucket CoDel state, and the fattest-bucket overflow law — plus
+	// the per-flow sojourn histograms behind the fairness table's
+	// median-of-flow-p95 column, which is exactly the statistic that
+	// caught a map-iteration nondeterminism aggregate counters missed.
 	"bufferbloat": func(parallel int) string {
 		cfg := DefaultBufferbloat()
 		cfg.BulkBytes = 2 << 20

@@ -83,6 +83,10 @@ type QueueStats struct {
 	// to the Flow id on every packet. Disabled (nil) by default so the
 	// per-packet hot path pays only a nil check.
 	flows map[uint64]*FlowQueueStats
+	// flowHist, set by TrackFlowSojourns, additionally gives every flow
+	// record its own sojourn accumulator, so per-class percentiles (the
+	// fairness table's web-flow p95) can be computed after the run.
+	flowHist bool
 }
 
 // FlowQueueStats is one flow's share of a queue's telemetry: throughput
@@ -101,6 +105,20 @@ type FlowQueueStats struct {
 	SojournCount  uint64
 	SojournSum    sim.Time
 	SojournMax    sim.Time
+
+	// hist receives every delivered packet's sojourn in milliseconds when
+	// the owning QueueStats runs with TrackFlowSojourns.
+	hist *stats.Accumulator
+}
+
+// SojournSample freezes the flow's per-packet sojourn distribution (in
+// milliseconds), or returns an empty sample when TrackFlowSojourns was not
+// enabled before traffic flowed.
+func (f *FlowQueueStats) SojournSample() *stats.Sample {
+	if f.hist == nil {
+		return stats.New(nil)
+	}
+	return f.hist.Sample()
 }
 
 // MeanSojourn reports the flow's mean queueing delay over its delivered
@@ -133,6 +151,15 @@ func (s *QueueStats) TrackFlows() {
 	}
 }
 
+// TrackFlowSojourns enables per-flow attribution (as TrackFlows) and
+// additionally records every flow's per-packet sojourn distribution, for
+// per-class percentile reporting (the fairness table's p95 columns). Like
+// TrackFlows it must be called before traffic flows.
+func (s *QueueStats) TrackFlowSojourns() {
+	s.TrackFlows()
+	s.flowHist = true
+}
+
 // Flow returns the attribution record for one flow id, or nil when the
 // flow was never seen (or tracking is disabled).
 func (s *QueueStats) Flow(id uint64) *FlowQueueStats { return s.flows[id] }
@@ -157,6 +184,9 @@ func (s *QueueStats) flow(id uint64) *FlowQueueStats {
 	f := s.flows[id]
 	if f == nil {
 		f = &FlowQueueStats{}
+		if s.flowHist {
+			f.hist = stats.NewAccumulator()
+		}
 		s.flows[id] = f
 	}
 	return f
@@ -177,6 +207,72 @@ func (s *QueueStats) noteSojourn(d sim.Time) {
 	}
 	if s.hist != nil {
 		s.hist.Add(d.Milliseconds())
+	}
+}
+
+// The note* methods below are the single accounting path every discipline's
+// telemetry flows through, whatever its storage shape: qdiscBase funnels its
+// one-ring helpers through them, and FQCoDel (whose packets live in per-flow
+// buckets) calls them directly. Keeping them on QueueStats is what lets the
+// conformance suite state one set of invariants for all disciplines.
+
+// noteEnqueue accounts one admitted packet; qlen and qbytes are the
+// post-admission backlog gauges, from which the high-water marks refresh.
+func (s *QueueStats) noteEnqueue(pkt *Packet, qlen, qbytes int) {
+	s.Enqueued++
+	if f := s.flow(pkt.Flow); f != nil {
+		f.Enqueued++
+	}
+	if qlen > s.MaxLen {
+		s.MaxLen = qlen
+	}
+	if qbytes > s.MaxBytes {
+		s.MaxBytes = qbytes
+	}
+}
+
+// noteDeliver accounts one packet handed to the transmitter after d in the
+// queue: delivery count, sojourn summary, and (when tracked) the flow share.
+func (s *QueueStats) noteDeliver(pkt *Packet, d sim.Time) {
+	s.Dequeued++
+	s.noteSojourn(d)
+	if f := s.flow(pkt.Flow); f != nil {
+		f.Dequeued++
+		f.DequeuedBytes += uint64(pkt.Size)
+		f.SojournCount++
+		f.SojournSum += d
+		if d > f.SojournMax {
+			f.SojournMax = d
+		}
+		if f.hist != nil {
+			f.hist.Add(d.Milliseconds())
+		}
+	}
+}
+
+// noteTailDrop accounts one packet rejected (or, for fq_codel's overflow
+// law, evicted) outside the AQM control law. The caller recycles.
+func (s *QueueStats) noteTailDrop(pkt *Packet) {
+	s.TailDrops++
+	if f := s.flow(pkt.Flow); f != nil {
+		f.TailDrops++
+	}
+}
+
+// noteAQMDrop accounts one control-law drop. The caller recycles.
+func (s *QueueStats) noteAQMDrop(pkt *Packet) {
+	s.AQMDrops++
+	if f := s.flow(pkt.Flow); f != nil {
+		f.AQMDrops++
+	}
+}
+
+// noteMark accounts one control-law CE mark; the packet stays queued and is
+// delivered.
+func (s *QueueStats) noteMark(pkt *Packet) {
+	s.AQMMarks++
+	if f := s.flow(pkt.Flow); f != nil {
+		f.AQMMarks++
 	}
 }
 
@@ -233,34 +329,14 @@ type qdiscBase struct {
 func (b *qdiscBase) admit(pkt *Packet, now sim.Time) {
 	pkt.enq = now
 	b.ring.push(pkt)
-	b.stats.Enqueued++
-	if f := b.stats.flow(pkt.Flow); f != nil {
-		f.Enqueued++
-	}
-	if n := b.ring.len(); n > b.stats.MaxLen {
-		b.stats.MaxLen = n
-	}
-	if b.ring.bytes > b.stats.MaxBytes {
-		b.stats.MaxBytes = b.ring.bytes
-	}
+	b.stats.noteEnqueue(pkt, b.ring.len(), b.ring.bytes)
 }
 
 // deliver accounts one packet handed to the transmitter: the delivery
 // count, the sojourn summary, and (when tracked) the packet's flow share.
 // Every discipline's Dequeue funnels survivors through here.
 func (b *qdiscBase) deliver(pkt *Packet, now sim.Time) {
-	b.stats.Dequeued++
-	d := now - pkt.enq
-	b.stats.noteSojourn(d)
-	if f := b.stats.flow(pkt.Flow); f != nil {
-		f.Dequeued++
-		f.DequeuedBytes += uint64(pkt.Size)
-		f.SojournCount++
-		f.SojournSum += d
-		if d > f.SojournMax {
-			f.SojournMax = d
-		}
-	}
+	b.stats.noteDeliver(pkt, now-pkt.enq)
 }
 
 // take removes the head and records its sojourn as a delivery.
@@ -275,10 +351,7 @@ func (b *qdiscBase) take(now sim.Time) *Packet {
 
 // tailDrop rejects a packet at the enqueue boundary and recycles it.
 func (b *qdiscBase) tailDrop(pkt *Packet) {
-	b.stats.TailDrops++
-	if f := b.stats.flow(pkt.Flow); f != nil {
-		f.TailDrops++
-	}
+	b.stats.noteTailDrop(pkt)
 	pkt.Recycle()
 }
 
@@ -301,10 +374,7 @@ func (b *qdiscBase) boundedEnqueue(pkt *Packet, now sim.Time, maxPackets, maxByt
 
 // aqmDrop discards a packet by control-law decision and recycles it.
 func (b *qdiscBase) aqmDrop(pkt *Packet) {
-	b.stats.AQMDrops++
-	if f := b.stats.flow(pkt.Flow); f != nil {
-		f.AQMDrops++
-	}
+	b.stats.noteAQMDrop(pkt)
 	pkt.Recycle()
 }
 
@@ -312,10 +382,7 @@ func (b *qdiscBase) aqmDrop(pkt *Packet) {
 // stays in the system and is delivered (the ECN alternative to aqmDrop).
 func (b *qdiscBase) aqmMark(pkt *Packet) {
 	pkt.CE = true
-	b.stats.AQMMarks++
-	if f := b.stats.flow(pkt.Flow); f != nil {
-		f.AQMMarks++
-	}
+	b.stats.noteMark(pkt)
 }
 
 // Peek implements Qdisc.
@@ -340,6 +407,7 @@ const (
 	QdiscInfinite = "infinite"
 	QdiscCoDel    = "codel"
 	QdiscPIE      = "pie"
+	QdiscFQCoDel  = "fq_codel"
 )
 
 // CoDel defaults per RFC 8289 §4.2–4.3.
@@ -352,22 +420,28 @@ const (
 // value plumbed from CLI flags through shells.LinkShell down to the boxes.
 // The zero spec builds an unbounded droptail queue, Mahimahi's default.
 type QdiscSpec struct {
-	// Kind is "", QdiscDropTail, QdiscInfinite, QdiscCoDel or QdiscPIE;
-	// empty means droptail.
+	// Kind is "", QdiscDropTail, QdiscInfinite, QdiscCoDel, QdiscPIE or
+	// QdiscFQCoDel; empty means droptail.
 	Kind string
 	// Packets and Bytes bound the backlog (0 = unlimited in that
 	// dimension). For CoDel and PIE they bound the physical buffer behind
-	// the control law.
+	// the control law; for fq_codel they are the aggregate limits the
+	// overflow law (drop from the fattest bucket) enforces.
 	Packets int
 	Bytes   int
-	// Target parameterizes the AQM's delay reference: CoDel's sojourn
-	// target (zero = RFC 8289's 5 ms) or PIE's QDELAY_REF (zero =
-	// RFC 8033's 15 ms). Interval is CoDel's control interval (zero =
-	// 100 ms); TUpdate is PIE's probability-update period (zero = 15 ms).
+	// Target parameterizes the AQM's delay reference: CoDel's and
+	// fq_codel's sojourn target (zero = RFC 8289's 5 ms) or PIE's
+	// QDELAY_REF (zero = RFC 8033's 15 ms). Interval is CoDel's/fq_codel's
+	// control interval (zero = 100 ms); TUpdate is PIE's
+	// probability-update period (zero = 15 ms).
 	Target   sim.Time
 	Interval sim.Time
 	TUpdate  sim.Time
-	// ECN switches CoDel and PIE from dropping to CE-marking ECT packets
+	// Flows and Quantum parameterize fq_codel: the flow-bucket count
+	// (zero = RFC 8290's 1024) and the DRR byte quantum (zero = one MTU).
+	Flows   int
+	Quantum int
+	// ECN switches the AQMs from dropping to CE-marking ECT packets
 	// (non-ECT packets are still dropped). Ignored by droptail/infinite.
 	ECN bool
 }
@@ -396,6 +470,13 @@ func (s QdiscSpec) Build() Qdisc {
 			MaxPackets: s.Packets, MaxBytes: s.Bytes,
 			ECN: s.ECN,
 		})
+	case QdiscFQCoDel:
+		return NewFQCoDel(FQCoDelConfig{
+			Target: s.Target, Interval: s.Interval,
+			Flows: s.Flows, Quantum: s.Quantum,
+			MaxPackets: s.Packets, MaxBytes: s.Bytes,
+			ECN: s.ECN,
+		})
 	default:
 		panic(fmt.Sprintf("netem: unknown qdisc kind %q", s.Kind))
 	}
@@ -411,7 +492,7 @@ func (s QdiscSpec) String() string {
 		kind = QdiscDropTail
 	}
 	label := kind
-	if s.ECN && (kind == QdiscCoDel || kind == QdiscPIE) {
+	if s.ECN && (kind == QdiscCoDel || kind == QdiscPIE || kind == QdiscFQCoDel) {
 		label += "-ecn"
 	}
 	if s.Packets > 0 {
@@ -420,14 +501,20 @@ func (s QdiscSpec) String() string {
 	if s.Bytes > 0 {
 		label += fmt.Sprintf("-%dB", s.Bytes)
 	}
-	if (kind == QdiscCoDel || kind == QdiscPIE) && s.Target > 0 {
+	if (kind == QdiscCoDel || kind == QdiscPIE || kind == QdiscFQCoDel) && s.Target > 0 {
 		label += fmt.Sprintf("-t%v", s.Target)
 	}
-	if kind == QdiscCoDel && s.Interval > 0 {
+	if (kind == QdiscCoDel || kind == QdiscFQCoDel) && s.Interval > 0 {
 		label += fmt.Sprintf("-i%v", s.Interval)
 	}
 	if kind == QdiscPIE && s.TUpdate > 0 {
 		label += fmt.Sprintf("-u%v", s.TUpdate)
+	}
+	if kind == QdiscFQCoDel && s.Flows > 0 {
+		label += fmt.Sprintf("-f%d", s.Flows)
+	}
+	if kind == QdiscFQCoDel && s.Quantum > 0 {
+		label += fmt.Sprintf("-q%d", s.Quantum)
 	}
 	return label
 }

@@ -153,7 +153,7 @@ func TestCoDelEntersAndExitsDropping(t *testing.T) {
 		t.Fatalf("delivered %d + aqm drops %d != 100", delivered, q.QueueStats().AQMDrops)
 	}
 	// Queue drained: the state machine must have left dropping mode.
-	if q.dropping {
+	if q.state.dropping {
 		t.Fatal("dropping state survived an empty queue")
 	}
 }

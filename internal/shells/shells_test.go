@@ -156,6 +156,20 @@ func TestShellNames(t *testing.T) {
 	if len(names) != 2 || names[0] != "delay-30ms" {
 		t.Fatalf("Shells = %v", names)
 	}
+
+	// fq_codel links get distinct cell coordinates: the spec's bucket count
+	// and quantum are part of the label, so grids that sweep them derive
+	// distinct seeds per cell.
+	fq := NewLinkShell(up, down)
+	fq.Queue = netem.QdiscSpec{Kind: netem.QdiscFQCoDel, Packets: 600, Flows: 64, Quantum: 300}
+	if got, want := fq.Name(), "link-constant-1000000bps-constant-1000000bps+fq_codel-600p-f64-q300"; got != want {
+		t.Fatalf("fq link name = %q, want %q", got, want)
+	}
+	fq.Queue.ECN = true
+	fq.Queue.Flows, fq.Queue.Quantum = 0, 0
+	if got, want := fq.Name(), "link-constant-1000000bps-constant-1000000bps+fq_codel-ecn-600p"; got != want {
+		t.Fatalf("fq-ecn link name = %q, want %q", got, want)
+	}
 }
 
 func TestTwoStacksIsolated(t *testing.T) {
