@@ -7,9 +7,11 @@
 package repro_test
 
 import (
+	"fmt"
 	"testing"
 
 	"repro/internal/browser"
+	"repro/internal/engine"
 	"repro/internal/experiments"
 	"repro/internal/httpx"
 	"repro/internal/match"
@@ -386,32 +388,133 @@ func BenchmarkPageLoad(b *testing.B) {
 func BenchmarkLoopSchedule(b *testing.B) {
 	for _, kind := range []sim.SchedulerKind{sim.SchedWheel, sim.SchedHeap} {
 		b.Run(kind.String(), func(b *testing.B) {
-			loop := sim.NewLoopSched(kind)
-			h := func(sim.Time) {}
-			// Standing population at far-future deadlines: present in the
-			// queue for every measured operation, never fired.
-			const standing = 1200
-			for j := 0; j < standing; j++ {
-				loop.Schedule(sim.Time(j%100+1)*sim.Second*100_000, h)
+			benchLoopSchedule(b, kind, 1200, 100)
+		})
+	}
+	// The many-flow regime: a 10k-flow contention cell keeps an order of
+	// magnitude more timers and in-flight packets queued than a single page
+	// load. ns/event here versus the wheel row above is the "flat at depth"
+	// check — the calendar queue's per-event cost must not grow with the
+	// standing population.
+	b.Run("wheel-standing12k", func(b *testing.B) {
+		benchLoopSchedule(b, sim.SchedWheel, 12000, 1000)
+	})
+}
+
+// benchLoopSchedule runs the schedule+fire workload described above against
+// a loop pre-loaded with a standing population of future events spread over
+// the given number of distinct timestamps.
+func benchLoopSchedule(b *testing.B, kind sim.SchedulerKind, standing, spread int) {
+	loop := sim.NewLoopSched(kind)
+	h := func(sim.Time) {}
+	// Standing population at far-future deadlines: present in the
+	// queue for every measured operation, never fired.
+	for j := 0; j < standing; j++ {
+		loop.Schedule(sim.Time(j%spread+1)*sim.Second*100_000, h)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < 32; j++ {
+			// 8 distinct deadlines, 4 back-to-back events each: the
+			// burst shape (a window of packets entering one box).
+			loop.Schedule(sim.Time(j/4+1)*sim.Microsecond, h)
+		}
+		for j := 0; j < 32; j++ {
+			// Distinct deadlines: the unclustered tail.
+			loop.Schedule(sim.Time(100+j)*sim.Microsecond, h)
+		}
+		loop.RunFor(sim.Millisecond)
+		if loop.Pending() != standing {
+			b.Fatalf("standing population disturbed: %d", loop.Pending())
+		}
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(64*b.N), "ns/event")
+}
+
+// BenchmarkContention measures the sharded many-flow engine (internal/engine):
+// web + bulk + RPC tcpsim flows contending in one fq_codel cell. The flowsN
+// rows scale the per-cell population from 100 to 10000 on a single warmed
+// shard — ns/event (total wall clock over events fired) is the per-event
+// cost of the whole stack (loop, pooled conns/segments/packets, qdisc) and
+// must stay flat as flows grow; compare it against BenchmarkLoopSchedule's
+// rows to see how much the packet path adds over bare scheduling. The grid
+// rows run 8 cells of 500 flows through Engine.Run at 1 and 4 shards: the
+// shard-scaling (wall-clock) comparison, with byte-identical results. As
+// with the Figure 2 parallel rows, shard counts tie on a single-core host —
+// every cell is CPU-bound simulation.
+func BenchmarkContention(b *testing.B) {
+	up, err := trace.Constant(400_000_000, 1000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	spec := func(flows int, seed uint64) engine.ContentionSpec {
+		// Trimmed transfers so even the 10k row is dominated by concurrent
+		// steady-state forwarding, not a handful of giant downloads.
+		return engine.ContentionSpec{
+			Seed:          seed,
+			Flows:         flows,
+			Mix:           engine.Mix{Web: 8, Bulk: 1, RPC: 1},
+			Qdisc:         netem.QdiscSpec{Kind: netem.QdiscFQCoDel, Packets: 600, Flows: 256},
+			Up:            up,
+			Down:          up,
+			ArrivalWindow: 500 * sim.Millisecond,
+			WebTransfers:  1,
+			WebThink:      10 * sim.Millisecond,
+			WebMaxBytes:   32 << 10,
+			BulkBytes:     64 << 10,
+			RPCCalls:      2,
+			RPCGap:        10 * sim.Millisecond,
+		}
+	}
+	for _, flows := range []int{100, 1000, 10000} {
+		b.Run(fmt.Sprintf("flows%d", flows), func(b *testing.B) {
+			sh := engine.NewShard()
+			sp := spec(flows, 0xbe7c)
+			warm := engine.RunContention(sh, sp) // warm pools to steady state
+			if warm.FlowsDone != flows || warm.Errors != 0 {
+				b.Fatalf("warmup: done=%d errs=%d, want %d/0", warm.FlowsDone, warm.Errors, flows)
 			}
 			b.ReportAllocs()
 			b.ResetTimer()
+			var events uint64
+			var peak int
 			for i := 0; i < b.N; i++ {
-				for j := 0; j < 32; j++ {
-					// 8 distinct deadlines, 4 back-to-back events each: the
-					// burst shape (a window of packets entering one box).
-					loop.Schedule(sim.Time(j/4+1)*sim.Microsecond, h)
-				}
-				for j := 0; j < 32; j++ {
-					// Distinct deadlines: the unclustered tail.
-					loop.Schedule(sim.Time(100+j)*sim.Microsecond, h)
-				}
-				loop.RunFor(sim.Millisecond)
-				if loop.Pending() != standing {
-					b.Fatalf("standing population disturbed: %d", loop.Pending())
+				r := engine.RunContention(sh, sp)
+				events += r.Events
+				peak = r.PeakConns
+				if r.FlowsDone != flows {
+					b.Fatalf("done=%d, want %d", r.FlowsDone, flows)
 				}
 			}
-			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(64*b.N), "ns/event")
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(events), "ns/event")
+			b.ReportMetric(float64(peak), "peak-conns")
+		})
+	}
+	for _, shards := range []int{1, 4} {
+		b.Run(fmt.Sprintf("grid8x500-shards%d", shards), func(b *testing.B) {
+			e := engine.New(shards)
+			cells := make([]string, 8)
+			for i := range cells {
+				cells[i] = fmt.Sprintf("bench/%d", i)
+			}
+			job := engine.Job{Cells: cells, Run: func(sh *engine.Shard, cell int, label string) any {
+				return engine.RunContention(sh, spec(500, sim.DeriveSeed(3, label)))
+			}}
+			e.Run(job) // warm every shard's pools
+			b.ResetTimer()
+			var events uint64
+			for i := 0; i < b.N; i++ {
+				for _, v := range e.Run(job) {
+					r := v.(engine.ContentionResult)
+					events += r.Events
+					if r.FlowsDone != 500 {
+						b.Fatalf("done=%d, want 500", r.FlowsDone)
+					}
+				}
+			}
+			b.ReportMetric(float64(shards), "shards")
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(events), "ns/event")
 		})
 	}
 }

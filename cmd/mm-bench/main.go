@@ -4,9 +4,10 @@
 //	mm-bench -exp fig2 -sites 50       # one artifact, subsampled corpus
 //	mm-bench -exp all -parallel 8      # fan cells across 8 workers
 //	mm-bench -exp sweep -delays 30,120,300 -rates 1,14,25 -trials 3
+//	mm-bench -exp contention -flows 1000 -shards 8 -mix 6:1:3
 //
 // Experiments: fig2, table1, table2, fig3, servers, isolation,
-// bufferbloat, sweep.
+// bufferbloat, sweep, contention.
 // Results print in the paper's layout with the paper's numbers alongside;
 // EXPERIMENTS.md records a reference run.
 //
@@ -26,6 +27,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/engine"
 	"repro/internal/experiments"
 	"repro/internal/sim"
 )
@@ -41,6 +43,9 @@ func main() {
 	losses := flag.String("losses", "", "sweep: comma-separated loss probabilities (default 0,0.01)")
 	trials := flag.Int("trials", 0, "sweep: jittered loads per (site, stack) cell (0 = default)")
 	bulkMB := flag.Int("bulk-mb", 0, "bufferbloat: competing bulk flow size in MB (0 = default 16)")
+	flows := flag.Int("flows", 0, "contention: flows per cell (0 = default 96)")
+	shards := flag.Int("shards", 0, "contention: engine shards (0 = default 1, -1 = GOMAXPROCS); output is identical at any value")
+	mix := flag.String("mix", "", "contention: web:bulk:rpc flow ratio (default 6:1:3)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the selected experiments to this file")
 	memprofile := flag.String("memprofile", "", "write an allocation profile taken after the run to this file")
 	sched := flag.String("sched", "wheel", "event scheduler: wheel (calendar queue of same-deadline runs) or heap (binary min-heap ablation); output is identical under both")
@@ -160,6 +165,24 @@ func main() {
 		}
 		fmt.Println(experiments.Bufferbloat(cfg))
 	})
+	run("contention", func() {
+		cfg := experiments.DefaultContention()
+		cfg.Seed = rootSeed(*seed, cfg.Seed)
+		if *flows > 0 {
+			cfg.Flows = *flows
+		}
+		if *shards != 0 {
+			cfg.Shards = *shards // -1 maps to <=0: engine.New uses GOMAXPROCS
+		}
+		if *mix != "" {
+			m, err := engine.ParseMix(*mix)
+			if err != nil {
+				fatalf("mm-bench: -mix: %v", err)
+			}
+			cfg.Mix = m
+		}
+		fmt.Println(experiments.Contention(cfg))
+	})
 	run("sweep", func() {
 		cfg := experiments.DefaultSweep()
 		cfg.Parallel = *parallel
@@ -197,10 +220,10 @@ func main() {
 
 	valid := map[string]bool{"all": true, "fig2": true, "table1": true,
 		"table2": true, "fig3": true, "servers": true, "isolation": true,
-		"sweep": true, "bufferbloat": true}
+		"sweep": true, "bufferbloat": true, "contention": true}
 	if !valid[*exp] {
 		fmt.Fprintf(os.Stderr, "mm-bench: unknown experiment %q (want %s)\n",
-			*exp, strings.Join([]string{"fig2", "table1", "table2", "fig3", "servers", "isolation", "bufferbloat", "sweep", "all"}, "|"))
+			*exp, strings.Join([]string{"fig2", "table1", "table2", "fig3", "servers", "isolation", "bufferbloat", "contention", "sweep", "all"}, "|"))
 		os.Exit(2)
 	}
 }

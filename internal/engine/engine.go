@@ -1,0 +1,181 @@
+// Package engine is the sharded many-user emulation engine: it partitions
+// independent simulation cells across N shards, each shard owning a private
+// event loop and private object pools, and runs every shard to completion
+// with zero cross-shard locking on the packet/event path.
+//
+// The experiments package's Runner already parallelizes scenario matrices,
+// but its unit of state reuse is a sync.Pool'd Scratch: which warmed pools a
+// cell draws is scheduling-dependent, and a cell's work cannot be pinned to
+// a core. The engine makes the partitioning itself deterministic, in the
+// style NetChain assigns keys to chain replicas by consistent hashing: a
+// cell's shard is a pure function of its label and the shard count, never of
+// execution timing. Within a shard, cells run sequentially (run to
+// completion) on the shard's own sim.Loop, nsim.PoolSet, tcpsim.SegmentPool
+// and tcpsim.ConnPool, so the hot path touches no shared mutable state and
+// needs no synchronization; the only cross-shard communication is each
+// cell's result landing in its own slot of the output slice. Results
+// therefore merge order-free: an artifact assembled from the index-aligned
+// output is byte-identical at any shard count, which the determinism suite
+// verifies at 1, 2 and 8 shards under both schedulers.
+package engine
+
+import (
+	"context"
+	"runtime"
+	"runtime/pprof"
+	"strconv"
+	"sync"
+
+	"repro/internal/nsim"
+	"repro/internal/sim"
+	"repro/internal/tcpsim"
+)
+
+// Shard is one run-to-completion execution lane: an event loop plus every
+// pool the simulation hot path allocates from. A shard serves one cell at a
+// time; the loop and pools are reset-and-reused across the shard's
+// sequential cells, so pool warmup is paid once per shard rather than once
+// per cell. Nothing in a Shard is safe for concurrent use — the engine is
+// what guarantees each shard stays on a single goroutine.
+type Shard struct {
+	index   int
+	loop    *sim.Loop
+	pools   *nsim.PoolSet
+	segs    *tcpsim.SegmentPool
+	conns   *tcpsim.ConnPool
+	payload []byte
+}
+
+// NewShard returns a standalone shard (index 0). Benchmarks and tests that
+// drive one cell directly use this; experiment drivers go through New/Run.
+func NewShard() *Shard { return newShard(0) }
+
+func newShard(index int) *Shard {
+	return &Shard{
+		index: index,
+		pools: &nsim.PoolSet{},
+		segs:  &tcpsim.SegmentPool{},
+		conns: tcpsim.NewConnPool(),
+	}
+}
+
+// Index is the shard's position in its engine, 0-based.
+func (sh *Shard) Index() int { return sh.index }
+
+// Loop returns a reset, warmed event loop for the next cell, replacing it
+// only when the process-default scheduler kind changed since the last cell
+// (Reset would otherwise keep the stale kind alive across an ablation run).
+func (sh *Shard) Loop() *sim.Loop {
+	if sh.loop == nil || sh.loop.Scheduler() != sim.DefaultScheduler() {
+		sh.loop = sim.NewLoop()
+		return sh.loop
+	}
+	sh.loop.Reset()
+	return sh.loop
+}
+
+// Pools returns the shard's packet/datagram pool set, for
+// nsim.NewNetworkPooled.
+func (sh *Shard) Pools() *nsim.PoolSet { return sh.pools }
+
+// Segments returns the shard's TCP segment pool, for tcpsim.NewStackPool.
+func (sh *Shard) Segments() *tcpsim.SegmentPool { return sh.segs }
+
+// Conns returns the shard's connection pool, for tcpsim.Stack.SetConnPool.
+func (sh *Shard) Conns() *tcpsim.ConnPool { return sh.conns }
+
+// Payload returns a stable all-zero buffer of at least n bytes, grown on
+// demand and reused across the shard's cells. Servers serve response bodies
+// from it via WriteStable, so a cell's transfer volume never shows up as
+// per-cell allocation. The buffer must never be written.
+func (sh *Shard) Payload(n int) []byte {
+	if cap(sh.payload) < n {
+		sh.payload = make([]byte, n)
+	}
+	return sh.payload[:n]
+}
+
+// Engine is a fixed set of shards. The zero shard count convention follows
+// Runner.Parallel: <= 0 means GOMAXPROCS(0).
+type Engine struct {
+	shards []*Shard
+}
+
+// New returns an engine with n shards (n <= 0 means GOMAXPROCS(0)).
+func New(n int) *Engine {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	e := &Engine{shards: make([]*Shard, n)}
+	for i := range e.shards {
+		e.shards[i] = newShard(i)
+	}
+	return e
+}
+
+// NumShards reports the engine's shard count.
+func (e *Engine) NumShards() int { return len(e.shards) }
+
+// Shard returns shard i, for callers driving a single cell directly.
+func (e *Engine) Shard(i int) *Shard { return e.shards[i] }
+
+// ShardFor maps a cell label to its owning shard: a consistent, timing-free
+// partition by hash of the label alone. Cells with the same label always
+// land on the same shard of an n-shard engine, so any per-label state a
+// workload threads through its shard stays shard-local; which shard that is
+// has no effect on results (each cell's seed derives from its label, not
+// its shard), only on which warmed pools serve it.
+func ShardFor(label string, n int) int {
+	return int(sim.DeriveSeed(0x51a4d, "shard", label) % uint64(n))
+}
+
+// Job is one fan-out: a list of cell labels and the function that runs one
+// cell on its assigned shard. Run must derive all randomness from the cell
+// label (sim.DeriveSeed) and must not touch state shared with other cells;
+// under those conditions Engine.Run's output is independent of shard count.
+type Job struct {
+	// Cells enumerates the cell labels in output order.
+	Cells []string
+	// Run executes one cell on sh. cell is the index into Cells and label
+	// is Cells[cell]. The returned value lands in slot cell of Run's output.
+	Run func(sh *Shard, cell int, label string) any
+}
+
+// Run partitions the job's cells onto the engine's shards (ShardFor), runs
+// each shard's cells sequentially in label-index order on one goroutine per
+// non-empty shard, and returns the results index-aligned with job.Cells.
+// Each shard goroutine carries a pprof "shard" label, so a CPU or memory
+// profile of a run attributes samples per shard.
+func (e *Engine) Run(job Job) []any {
+	out := make([]any, len(job.Cells))
+	n := len(e.shards)
+	assigned := make([][]int, n)
+	for i, label := range job.Cells {
+		s := ShardFor(label, n)
+		assigned[s] = append(assigned[s], i)
+	}
+	runShard := func(sh *Shard, cells []int) {
+		pprof.Do(context.Background(), pprof.Labels("shard", strconv.Itoa(sh.index)), func(context.Context) {
+			for _, i := range cells {
+				out[i] = job.Run(sh, i, job.Cells[i])
+			}
+		})
+	}
+	if n == 1 {
+		runShard(e.shards[0], assigned[0])
+		return out
+	}
+	var wg sync.WaitGroup
+	for s, cells := range assigned {
+		if len(cells) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(sh *Shard, cells []int) {
+			defer wg.Done()
+			runShard(sh, cells)
+		}(e.shards[s], cells)
+	}
+	wg.Wait()
+	return out
+}

@@ -1,0 +1,6 @@
+//go:build !race
+
+package engine
+
+// raceEnabled mirrors race_on_test.go for normal builds.
+const raceEnabled = false

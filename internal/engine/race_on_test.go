@@ -1,0 +1,9 @@
+//go:build race
+
+package engine
+
+// raceEnabled reports that the race detector is instrumenting this build;
+// allocation-counting tests skip themselves (the detector's shadow-memory
+// bookkeeping allocates in proportion to sync traffic, which is exactly the
+// per-packet scaling those tests assert the simulator avoids).
+const raceEnabled = true

@@ -76,6 +76,19 @@ var schedArtifacts = map[string]func(parallel int) string{
 		cfg.Parallel = parallel
 		return Bufferbloat(cfg).String()
 	},
+	// The contention cells run the many-flow engine workload — hundreds of
+	// pooled tcpsim conns, Pareto web sizes, per-class Poisson arrivals,
+	// per-flow sojourn attribution — under the same contract. Parallelism
+	// here is engine shards (run-to-completion cells on private loops and
+	// pools), not matrix workers, so this is also the cross-scheduler check
+	// for the sharded engine itself.
+	"contention": func(parallel int) string {
+		cfg := DefaultContention()
+		cfg.Flows = 24
+		cfg.BulkBytes = 64 << 10
+		cfg.Shards = parallel
+		return Contention(cfg).String()
+	},
 }
 
 // TestCrossSchedulerParallelDeterminism is the scheduler-ablation safety

@@ -72,28 +72,48 @@ func TestQdiscConformance(t *testing.T) {
 	for _, spec := range conformanceSpecs() {
 		for _, seed := range []uint64{1, 0x8290, 0xdeadbeef} {
 			t.Run(fmt.Sprintf("%s/seed=%#x", spec, seed), func(t *testing.T) {
-				runConformance(t, spec, seed)
+				runConformance(t, spec, seed, 8)
 			})
 		}
 	}
 }
 
-func runConformance(t *testing.T, spec QdiscSpec, seed uint64) {
+// TestQdiscConformanceManyFlows re-runs the suite at contention scale: 1200
+// distinct flows through each discipline, with capacities deep enough that
+// flows interleave heavily rather than bouncing off the tail. This is the
+// flow-count regime the sharded contention engine drives (fq_codel's 64
+// buckets give ~19-way flow collisions per bucket), and the per-flow
+// attribution check becomes a 1200-term ledger sum.
+func TestQdiscConformanceManyFlows(t *testing.T) {
+	specs := []QdiscSpec{
+		{Kind: QdiscDropTail, Packets: 256},
+		{Kind: QdiscCoDel, Packets: 256},
+		{Kind: QdiscPIE, Packets: 256, ECN: true},
+		{Kind: QdiscFQCoDel, Packets: 256, Flows: 64, Quantum: 700},
+		{Kind: QdiscFQCoDel, Packets: 256, Flows: 64, ECN: true},
+	}
+	for _, spec := range specs {
+		t.Run(fmt.Sprintf("%s/flows=1200", spec), func(t *testing.T) {
+			runConformance(t, spec, 0x12c0, 1200)
+		})
+	}
+}
+
+func runConformance(t *testing.T, spec QdiscSpec, seed uint64, nFlows int) {
 	t.Helper()
 	q := spec.Build()
 	q.QueueStats().TrackFlows()
 	rng := &conformanceRNG{state: seed}
 	pool := &PacketPool{}
 
-	const nFlows = 8
 	var (
 		offered   uint64 // Enqueue calls
 		accepted  uint64 // Enqueue calls that returned true
 		delivered uint64
 		ceCount   uint64
-		nextSeq   [nFlows]int64 // per-flow arrival sequence numbers
-		lastSeq   [nFlows]int64 // last delivered seq per flow
 	)
+	nextSeq := make([]int64, nFlows) // per-flow arrival sequence numbers
+	lastSeq := make([]int64, nFlows) // last delivered seq per flow
 	for i := range lastSeq {
 		lastSeq[i] = -1
 	}
@@ -129,7 +149,11 @@ func runConformance(t *testing.T, spec QdiscSpec, seed uint64) {
 	}
 
 	// Alternate overload phases (arrivals outpace service, so queues stand
-	// and AQM laws arm) with drain phases (service only).
+	// and AQM laws arm) with drain phases (service only). The burst size
+	// scales with the flow population so capacities deep enough for a
+	// many-flow run still overflow (at nFlows=8 this is the original
+	// workload, byte for byte).
+	burst := 4 + nFlows/16
 	now := sim.Time(0)
 	for phase := 0; phase < 6; phase++ {
 		steps := 200 + rng.intn(200)
@@ -138,7 +162,7 @@ func runConformance(t *testing.T, spec QdiscSpec, seed uint64) {
 			now += sim.Time(rng.intn(3)) * sim.Millisecond
 			arrivals := 0
 			if overload {
-				arrivals = rng.intn(4)
+				arrivals = rng.intn(burst)
 			}
 			for a := 0; a < arrivals; a++ {
 				flow := rng.intn(nFlows)

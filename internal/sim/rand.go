@@ -103,6 +103,16 @@ func (r *Rand) LogNormal(mu, sigma float64) float64 {
 	return math.Exp(mu + sigma*r.NormFloat64())
 }
 
+// Pareto returns a Pareto-distributed value with scale xm (the minimum,
+// returned when the uniform draw is 0) and shape alpha, by inverting the
+// Pareto CDF. Heavy-tailed object sizes — web transfer sizes in the
+// contention workload — are the intended use; callers that need a bounded
+// support clamp the result, which keeps the draw count at exactly one per
+// sample (rejection resampling would make the stream length data-dependent).
+func (r *Rand) Pareto(xm, alpha float64) float64 {
+	return xm / math.Pow(1-r.Float64(), 1/alpha)
+}
+
 // Duration returns a uniformly distributed virtual duration in [0, d).
 func (r *Rand) Duration(d Time) Time {
 	if d <= 0 {

@@ -45,6 +45,13 @@ const (
 	maxRTO         = 60 * sim.Second
 	initialRTO     = 1 * sim.Second
 	rtoGranularity = 50 * sim.Millisecond // RFC 6298's "G"
+	// maxRTORetries bounds consecutive timeouts without forward progress
+	// (Linux's tcp_retries2 / tcp_orphan_retries). Without a cap, a
+	// connection whose peer closed and vanished — e.g. the last ACK of a FIN
+	// exchange was dropped, so this side sits in StateClosing retransmitting
+	// into a port that no longer exists — retransmits forever at maxRTO and
+	// the event loop never drains.
+	maxRTORetries = 8
 )
 
 // Stats counts per-connection activity.
@@ -155,6 +162,7 @@ type Conn struct {
 	rto          sim.Time
 	rtoTimer     sim.Timer
 	rtoDirty     bool
+	rtoRetries   int // consecutive RTOs since the last cumulative-ack advance
 
 	stats Stats
 
@@ -164,9 +172,21 @@ type Conn struct {
 	onClose       func(error)
 	closedErr     error
 	closeNotified bool
+
+	// oooScratch is reused by the deterministic out-of-order release paths
+	// (releaseStaleOOO, releaseAllOOO) so sorting the reassembly map's keys
+	// allocates nothing in steady state.
+	oooScratch []uint64
+	// pooledFree marks a connection currently sitting in a ConnPool's free
+	// list; it guards against double-Recycle and use-after-recycle.
+	pooledFree bool
 }
 
 func newConn(s *Stack, local, remote nsim.AddrPort, server bool) *Conn {
+	if c := s.takePooledConn(); c != nil {
+		c.reset(s, local, remote, server)
+		return c
+	}
 	st := StateSynSent
 	if server {
 		st = StateSynRcvd
@@ -207,6 +227,12 @@ func (c *Conn) Statistics() Stats {
 // Cwnd returns the current congestion window in bytes, for tests and
 // instrumentation.
 func (c *Conn) Cwnd() int { return c.cwnd }
+
+// Flow returns the network flow identifier stamped on every datagram this
+// connection sends. Queue instrumentation (netem.QueueStats.Flows) keys its
+// per-flow counters by this value, so workload drivers use it to attribute
+// queue behaviour back to an application class.
+func (c *Conn) Flow() uint64 { return c.flow }
 
 // ECNNegotiated reports whether the handshake agreed on ECN: this side
 // sends ECT datagrams and the pair exchanges CE echoes per RFC 3168.
@@ -644,6 +670,7 @@ func (c *Conn) processAck(ack uint64, pureAck bool) {
 		newly := int(ack - c.sndUna)
 		c.sndUna = ack
 		c.dupAcks = 0
+		c.rtoRetries = 0
 		c.reapAcked(ack)
 		if c.inRecovery {
 			if ack >= c.recoverSeq {
@@ -847,6 +874,19 @@ func (c *Conn) onRTO(sim.Time) {
 	if c.state == StateClosed || c.inflight() == 0 {
 		return
 	}
+	if c.rtoRetries++; c.rtoRetries > maxRTORetries {
+		// The peer stayed silent through every backoff: give up. An orphan
+		// (application already closed) dies quietly, as the kernel reaps
+		// orphans — its peer tore down cleanly after receiving everything, so
+		// only the final ACK was lost. A connection the application still
+		// holds surfaces the failure instead.
+		if c.appClosed {
+			c.teardown(nil)
+		} else {
+			c.teardown(errors.New("tcpsim: retransmission timeout"))
+		}
+		return
+	}
 	c.stats.Timeouts++
 	c.ssthresh = c.onLossCC()
 	c.cwnd = MSS
@@ -894,12 +934,7 @@ func (c *Conn) processData(seg *Segment) {
 	for {
 		next, ok := c.ooo[c.rcvNxt]
 		if !ok {
-			for s, sg := range c.ooo {
-				if s+sg.SeqLen() <= c.rcvNxt {
-					delete(c.ooo, s) // stale duplicate
-					c.stack.release(sg)
-				}
-			}
+			c.releaseStaleOOO()
 			break
 		}
 		delete(c.ooo, c.rcvNxt)
@@ -908,6 +943,64 @@ func (c *Conn) processData(seg *Segment) {
 	}
 	c.sendAck()
 	c.maybeFinish()
+}
+
+// releaseStaleOOO releases reassembly-buffer segments made entirely stale by
+// the cumulative receive point, in ascending sequence order. Go randomizes
+// map iteration, so releasing while ranging over c.ooo would return segments
+// to the pool in a run-dependent order — and the pool is LIFO, so that order
+// leaks into every later segment's identity and, through per-flow stats,
+// into experiment artifacts. Sorting the (nearly always tiny) key set first
+// keeps the simulation bit-reproducible. See also releaseAllOOO.
+func (c *Conn) releaseStaleOOO() {
+	c.oooScratch = c.oooScratch[:0]
+	for s, sg := range c.ooo {
+		if s+sg.SeqLen() <= c.rcvNxt {
+			c.oooScratch = append(c.oooScratch, s)
+		}
+	}
+	if len(c.oooScratch) == 0 {
+		return
+	}
+	sortSeqs(c.oooScratch)
+	for _, s := range c.oooScratch {
+		sg := c.ooo[s]
+		delete(c.ooo, s)
+		c.stack.release(sg)
+	}
+}
+
+// releaseAllOOO empties the reassembly buffer in ascending sequence order
+// (teardown path); see releaseStaleOOO for why the order matters.
+func (c *Conn) releaseAllOOO() {
+	if len(c.ooo) == 0 {
+		return
+	}
+	c.oooScratch = c.oooScratch[:0]
+	for s := range c.ooo {
+		c.oooScratch = append(c.oooScratch, s)
+	}
+	sortSeqs(c.oooScratch)
+	for _, s := range c.oooScratch {
+		c.stack.release(c.ooo[s])
+	}
+	clear(c.ooo)
+}
+
+// sortSeqs insertion-sorts a small slice of sequence numbers in place. The
+// reassembly buffer rarely holds more than a window's worth of segments, so
+// insertion sort beats sort.Slice here and — unlike sort.Slice — allocates
+// nothing (no closure, no interface conversion).
+func sortSeqs(a []uint64) {
+	for i := 1; i < len(a); i++ {
+		v := a[i]
+		j := i - 1
+		for j >= 0 && a[j] > v {
+			a[j+1] = a[j]
+			j--
+		}
+		a[j+1] = v
+	}
 }
 
 // absorb consumes an in-sequence (possibly partially duplicate) segment,
@@ -1037,12 +1130,10 @@ func (c *Conn) teardown(err error) {
 	c.rtoTimer.Stop()
 	for i := range c.rtxq {
 		c.stack.release(c.rtxq[i].seg)
+		c.rtxq[i] = sentSeg{}
 	}
-	c.rtxq = nil
-	for _, sg := range c.ooo {
-		c.stack.release(sg)
-	}
-	clear(c.ooo)
+	c.rtxq = c.rtxq[:0]
+	c.releaseAllOOO()
 	c.stack.drop(c)
 	if c.onClose != nil && !c.closeNotified {
 		c.closeNotified = true

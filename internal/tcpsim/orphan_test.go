@@ -1,0 +1,99 @@
+package tcpsim
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// These tests pin the retransmission-retry cap (maxRTORetries). The
+// many-flow contention workload exposed the missing cap as a livelock: with
+// dozens of flows sharing a dropping AQM, some cell eventually loses the
+// final ACK of a FIN exchange, leaving one side in StateClosing
+// retransmitting into an ephemeral port that no longer exists. RTO backoff
+// saturates at maxRTO but retries were unbounded, so the event loop never
+// drained and Loop.Run never returned.
+
+// TestOrphanedCloseGivesUpAndDrains vanishes the client silently (no RST,
+// port unbound — exactly what a lost last ACK leaves behind) while the
+// server still has data and a FIN outstanding. The orphaned server must
+// give up after the retry cap, close cleanly, and let the loop drain.
+func TestOrphanedCloseGivesUpAndDrains(t *testing.T) {
+	loop, cs, ss := testNet(t, 10*sim.Millisecond, 0, 1)
+	var server *Conn
+	var serverErr error
+	serverClosed := false
+	ss.Listen(serverAP, func(c *Conn) {
+		server = c
+		c.OnClose(func(err error) { serverClosed = true; serverErr = err })
+		c.Write(bytes.Repeat([]byte("x"), 3000))
+		c.Close()
+	})
+	conn, err := cs.Dial(clientAddr, serverAP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn.OnEstablished(func() {
+		// Tear the client down silently shortly after the handshake, before
+		// the server's data arrives: its ephemeral port unbinds, and the
+		// server's retransmissions fall into the void.
+		loop.Schedule(1*sim.Millisecond, func(sim.Time) { conn.teardown(nil) })
+	})
+	end := loop.Run()
+
+	if server == nil {
+		t.Fatal("server never accepted")
+	}
+	if !serverClosed {
+		t.Fatal("orphaned server connection never gave up")
+	}
+	if serverErr != nil {
+		t.Fatalf("orphan teardown reported %v, want silent reap (nil)", serverErr)
+	}
+	if server.State() != StateClosed {
+		t.Fatalf("server state = %v, want closed", server.State())
+	}
+	if cs.Conns() != 0 || ss.Conns() != 0 {
+		t.Fatalf("connections leaked: client=%d server=%d", cs.Conns(), ss.Conns())
+	}
+	// 8 doublings from the initial estimate stay well under 10 virtual
+	// minutes; anything longer means the cap did not bound the backoff.
+	if end > 600*sim.Second {
+		t.Fatalf("loop drained only at %v", end)
+	}
+	if n := cs.Segments().Outstanding(); n != 0 {
+		t.Fatalf("client pool leaked %d segments", n)
+	}
+	if n := ss.Segments().Outstanding(); n != 0 {
+		t.Fatalf("server pool leaked %d segments", n)
+	}
+}
+
+// TestConnectTimeoutGivesUp drops every packet: the SYN retransmits through
+// the cap and the connection — which the application still holds — must
+// surface an error rather than retry forever.
+func TestConnectTimeoutGivesUp(t *testing.T) {
+	loop, cs, ss := testNet(t, 10*sim.Millisecond, 1.0, 3)
+	ss.Listen(serverAP, func(*Conn) { t.Error("accept on a fully lossy link") })
+	conn, err := cs.Dial(clientAddr, serverAP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cerr error
+	closed := false
+	conn.OnClose(func(err error) { closed = true; cerr = err })
+	loop.Run()
+	if !closed {
+		t.Fatal("connect attempt never gave up")
+	}
+	if cerr == nil {
+		t.Fatal("connect timeout reported success, want an error")
+	}
+	if cs.Conns() != 0 {
+		t.Fatalf("client stack still tracks %d connections", cs.Conns())
+	}
+	if got := conn.Statistics().Timeouts; got != maxRTORetries {
+		t.Fatalf("SYN timed out %d times before giving up, want %d", got, maxRTORetries)
+	}
+}

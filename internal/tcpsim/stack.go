@@ -39,6 +39,9 @@ type Stack struct {
 	// what an undeferred rearm sequence would also have left armed).
 	rxBatch  int
 	rtoDirty []*Conn
+	// connPool, when set, recycles fully closed connections back through
+	// newConn (see ConnPool); nil keeps the allocate-per-connection behavior.
+	connPool *ConnPool
 }
 
 // SegmentPool is a free list of recycled Segments. Like nsim.PoolSet it
