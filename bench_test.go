@@ -586,3 +586,78 @@ func BenchmarkTCPTransfer(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkScenarioScript measures what the chaos scheduler costs when
+// nothing is happening: the packetpath row runs a 64-packet burst through
+// a rate-limited link whose qdisc a ScenarioScript is watching, after
+// every scripted transition has already fired. Off the transition
+// instants the script is pure bookkeeping-at-rest — the packet path must
+// stay at 0 allocs/op, same contract as the bare qdisc rows. The scenario
+// row prices a full scripted mini-run (setup, three transitions with
+// drain accounting, teardown), where allocation is expected: transitions
+// append transcript entries and build replacement qdiscs.
+func BenchmarkScenarioScript(b *testing.B) {
+	const burst = 64
+	b.Run("packetpath", func(b *testing.B) {
+		loop := sim.NewLoop()
+		q := netem.NewCoDel(netem.CoDelConfig{MaxPackets: 256})
+		r := netem.NewRateBox(loop, 1_000_000_000, q)
+		r.SetSink(func(*netem.Packet) {})
+		script := netem.NewScenarioScript(loop)
+		script.Watch(q)
+		script.RateStep(sim.Millisecond, r, 2_000_000_000)
+		script.SwapQdisc(2*sim.Millisecond, r,
+			netem.QdiscSpec{Kind: netem.QdiscCoDel, Packets: 256}, netem.DrainHold)
+
+		pkts := make([]*netem.Packet, burst)
+		for i := range pkts {
+			pkts[i] = &netem.Packet{Size: netem.MTU, Flow: uint64(i % 8)}
+		}
+		step := func() {
+			for _, p := range pkts {
+				r.Send(p)
+			}
+			loop.Run()
+		}
+		// Warm past both transition instants: the scripted mutations fire
+		// here, so timed ops run the steady-state path a script is merely
+		// attached to.
+		step()
+		if got := len(script.Transitions()); got != 2 {
+			b.Fatalf("warmup fired %d transitions, want 2", got)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			step()
+		}
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(burst*b.N), "ns/packet")
+	})
+	b.Run("scenario", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			loop := sim.NewLoop()
+			q := netem.NewDropTail(0, 0)
+			r := netem.NewRateBox(loop, 1_000_000, q)
+			delivered := 0
+			r.SetSink(func(*netem.Packet) { delivered++ })
+			script := netem.NewScenarioScript(loop)
+			script.Watch(q)
+			script.RateStep(60*sim.Millisecond, r, 2_000_000)
+			script.SwapQdisc(120*sim.Millisecond, r,
+				netem.QdiscSpec{Kind: netem.QdiscCoDel}, netem.DrainHold)
+			script.SwapQdisc(200*sim.Millisecond, r,
+				netem.QdiscSpec{Packets: 4}, netem.DrainFlush)
+			loop.Schedule(0, func(sim.Time) {
+				for j := 0; j < 30; j++ {
+					r.Send(&netem.Packet{Size: netem.MTU, Flow: uint64(j % 3)})
+				}
+			})
+			loop.Run()
+			script.Finish(loop.Now())
+			if delivered == 0 {
+				b.Fatal("scenario delivered nothing")
+			}
+		}
+	})
+}

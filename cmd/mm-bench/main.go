@@ -5,9 +5,10 @@
 //	mm-bench -exp all -parallel 8      # fan cells across 8 workers
 //	mm-bench -exp sweep -delays 30,120,300 -rates 1,14,25 -trials 3
 //	mm-bench -exp contention -flows 1000 -shards 8 -mix 6:1:3
+//	mm-bench -exp dynamics -shards 4   # scripted link faults x AQM grid
 //
 // Experiments: fig2, table1, table2, fig3, servers, isolation,
-// bufferbloat, sweep, contention.
+// bufferbloat, sweep, contention, dynamics.
 // Results print in the paper's layout with the paper's numbers alongside;
 // EXPERIMENTS.md records a reference run.
 //
@@ -33,7 +34,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: fig2|table1|table2|fig3|servers|isolation|bufferbloat|sweep|all")
+	exp := flag.String("exp", "all", "experiment: fig2|table1|table2|fig3|servers|isolation|bufferbloat|contention|dynamics|sweep|all")
 	sites := flag.Int("sites", 0, "override corpus size (0 = experiment default)")
 	loads := flag.Int("loads", 0, "override load count (0 = experiment default)")
 	parallel := flag.Int("parallel", 1, "engine workers (0 = GOMAXPROCS); output is identical at any value")
@@ -44,7 +45,7 @@ func main() {
 	trials := flag.Int("trials", 0, "sweep: jittered loads per (site, stack) cell (0 = default)")
 	bulkMB := flag.Int("bulk-mb", 0, "bufferbloat: competing bulk flow size in MB (0 = default 16)")
 	flows := flag.Int("flows", 0, "contention: flows per cell (0 = default 96)")
-	shards := flag.Int("shards", 0, "contention: engine shards (0 = default 1, -1 = GOMAXPROCS); output is identical at any value")
+	shards := flag.Int("shards", 0, "contention/dynamics: engine shards (0 = default 1, -1 = GOMAXPROCS); output is identical at any value")
 	mix := flag.String("mix", "", "contention: web:bulk:rpc flow ratio (default 6:1:3)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the selected experiments to this file")
 	memprofile := flag.String("memprofile", "", "write an allocation profile taken after the run to this file")
@@ -181,7 +182,21 @@ func main() {
 			}
 			cfg.Mix = m
 		}
-		fmt.Println(experiments.Contention(cfg))
+		res := experiments.Contention(cfg)
+		fmt.Println(res)
+		// The placement report depends on the shard count, so it prints
+		// after (never inside) the deterministic artifact.
+		fmt.Println(res.Placement)
+	})
+	run("dynamics", func() {
+		cfg := experiments.DefaultDynamics()
+		cfg.Seed = rootSeed(*seed, cfg.Seed)
+		if *shards != 0 {
+			cfg.Shards = *shards // -1 maps to <=0: engine.New uses GOMAXPROCS
+		}
+		res := experiments.Dynamics(cfg)
+		fmt.Println(res)
+		fmt.Println(res.Placement)
 	})
 	run("sweep", func() {
 		cfg := experiments.DefaultSweep()
@@ -220,10 +235,10 @@ func main() {
 
 	valid := map[string]bool{"all": true, "fig2": true, "table1": true,
 		"table2": true, "fig3": true, "servers": true, "isolation": true,
-		"sweep": true, "bufferbloat": true, "contention": true}
+		"sweep": true, "bufferbloat": true, "contention": true, "dynamics": true}
 	if !valid[*exp] {
 		fmt.Fprintf(os.Stderr, "mm-bench: unknown experiment %q (want %s)\n",
-			*exp, strings.Join([]string{"fig2", "table1", "table2", "fig3", "servers", "isolation", "bufferbloat", "contention", "sweep", "all"}, "|"))
+			*exp, strings.Join([]string{"fig2", "table1", "table2", "fig3", "servers", "isolation", "bufferbloat", "contention", "dynamics", "sweep", "all"}, "|"))
 		os.Exit(2)
 	}
 }

@@ -49,6 +49,15 @@ type Options struct {
 	// MaxPipeline bounds outstanding requests per multiplexed connection
 	// (0 = unlimited).
 	MaxPipeline int
+	// ResponseTimeout bounds how long a connection with outstanding
+	// requests may stay silent before the browser gives up on it: the
+	// connection is aborted and its requests counted in Result.Failed. It
+	// exists for the half-dead-connection case a link outage produces —
+	// the request was ACKed before the link died, so the client transport
+	// has nothing in flight and no timer running, and without an
+	// application deadline the load would wait forever for a response the
+	// (torn-down) server will never send. 0 disables the deadline.
+	ResponseTimeout sim.Time
 }
 
 // DefaultOptions matches a 2014-era desktop browser.
@@ -81,8 +90,13 @@ type Result struct {
 	// Resources counts fetched resources; Errors counts non-200 responses.
 	Resources int
 	Errors    int
-	Bytes     int
-	Timings   []ResourceTiming
+	// Failed counts resources whose connection died before the response
+	// arrived (their timings carry Status 0). A load over a link that
+	// never recovers still completes, reporting the casualties here
+	// instead of wedging; Failed == 0 means every resource was answered.
+	Failed  int
+	Bytes   int
+	Timings []ResourceTiming
 }
 
 // Browser drives page loads from an application namespace.
@@ -171,6 +185,10 @@ type poolConn struct {
 	// fetch, for incremental discovery.
 	headSkipped bool
 	bodySeen    int
+	// respTimer enforces Options.ResponseTimeout: armed while requests are
+	// outstanding, fed by every arriving byte, aborts the connection on
+	// expiry. Unused (never armed) when the timeout is 0.
+	respTimer sim.Timer
 }
 
 // pool is the per-origin connection pool.
@@ -431,6 +449,11 @@ func (l *load) dial(p *pool) *poolConn {
 	}
 	pc := &poolConn{tc: tc, parser: l.sc.getParser()}
 	p.conns = append(p.conns, pc)
+	if l.b.opts.ResponseTimeout > 0 {
+		// Expiry aborts the transport (RST); the abort's OnClose does all
+		// the failure accounting and re-pumping below.
+		pc.respTimer = l.b.loop.NewTimer(func(sim.Time) { pc.tc.Abort() })
+	}
 	tc.OnEstablished(func() {
 		pc.ready = true
 		l.issuePending(pc)
@@ -439,13 +462,38 @@ func (l *load) dial(p *pool) *poolConn {
 	tc.OnClose(func(error) {
 		pc.dead = true
 		// Connection died with requests outstanding: account them as
-		// errored so the load still completes.
+		// failed so the load still completes. Status 0 marks the timing
+		// entry as never-answered.
 		for _, f := range pc.inflight {
 			f.timing.Status = 0
+			l.result.Failed++
 			l.resourceNetDone(f)
 		}
 		pc.inflight = nil
 		pc.issued = 0
+		if l.b.opts.ResponseTimeout > 0 {
+			pc.respTimer.Stop()
+		}
+		// Drop the dead connection from the pool and recycle its parser
+		// now (complete() only sweeps live conns). The pool slot it frees
+		// lets pump redial for queued fetches — without this, a load whose
+		// every connection died mid-transfer (link outage, server reset)
+		// would strand the queue forever with the pool reading as
+		// saturated. Failed fetches are never re-queued, so a permanently
+		// dead origin converges instead of redialing in a loop.
+		if pc.parser != nil {
+			l.sc.parsers = append(l.sc.parsers, pc.parser)
+			pc.parser = nil
+		}
+		for i, c := range p.conns {
+			if c == pc {
+				p.conns = append(p.conns[:i], p.conns[i+1:]...)
+				break
+			}
+		}
+		if !l.finished && len(p.queue) > 0 {
+			l.pump(p)
+		}
 	})
 	return pc
 }
@@ -462,6 +510,9 @@ func (l *load) issuePending(pc *poolConn) {
 		pc.parser.ExpectMethod(req.Method)
 		l.wireBuf = req.AppendWire(l.wireBuf[:0])
 		pc.tc.Write(l.wireBuf)
+	}
+	if l.b.opts.ResponseTimeout > 0 && len(pc.inflight) > 0 {
+		pc.respTimer.Reset(l.b.opts.ResponseTimeout)
 	}
 }
 
@@ -504,6 +555,17 @@ func (l *load) onData(p *pool, pc *poolConn, data []byte) {
 		l.resourceNetDone(f)
 		// Capacity freed on the connection.
 		l.pump(p)
+	}
+	if l.b.opts.ResponseTimeout > 0 {
+		// Any arriving byte is a sign of life: push the deadline out while
+		// responses remain outstanding (including ones pump just issued),
+		// disarm it once the pipe is empty so an idle connection never
+		// times out.
+		if len(pc.inflight) > 0 {
+			pc.respTimer.Reset(l.b.opts.ResponseTimeout)
+		} else {
+			pc.respTimer.Stop()
+		}
 	}
 }
 
@@ -576,6 +638,9 @@ func (l *load) complete() {
 			if pc.parser != nil {
 				l.sc.parsers = append(l.sc.parsers, pc.parser)
 				pc.parser = nil
+			}
+			if l.b.opts.ResponseTimeout > 0 {
+				pc.respTimer.Stop()
 			}
 			if !pc.dead {
 				pc.tc.Close()

@@ -3,6 +3,7 @@ package browser
 import (
 	"testing"
 
+	"repro/internal/netem"
 	"repro/internal/nsim"
 	"repro/internal/replayshell"
 	"repro/internal/shells"
@@ -325,5 +326,67 @@ func TestProgressiveDiscoveryBeforeParentCompletes(t *testing.T) {
 	if childStart >= htmlDone {
 		t.Fatalf("child started at %v, after parent finished at %v: discovery not progressive",
 			childStart, htmlDone)
+	}
+}
+
+// TestLoadSurvivesPermanentLinkDeath is the no-wedge contract: when the
+// link dies mid-load and never recovers, every pooled connection
+// eventually exhausts its retransmission ladder and dies — and the load
+// must still complete, reporting the unanswered resources in Failed
+// instead of stranding the queue behind a pool full of corpses.
+func TestLoadSurvivesPermanentLinkDeath(t *testing.T) {
+	page := smallPage()
+	loop := sim.NewLoop()
+	network := nsim.NewNetwork(loop)
+	replay, err := replayshell.New(network, replayshell.Config{
+		Site: webgen.Materialize(page), DNSLatency: sim.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	app := network.NewNamespace("app")
+	app.AddAddress(appAddr)
+	up := netem.NewScriptedGateBox(loop, nil)
+	down := netem.NewScriptedGateBox(loop, nil)
+	upPipe := netem.NewPipeline(netem.NewDelayBox(loop, 10*sim.Millisecond))
+	upPipe.Append(up)
+	downPipe := netem.NewPipeline(netem.NewDelayBox(loop, 10*sim.Millisecond))
+	downPipe.Append(down)
+	inEnd, outEnd := nsim.Connect(app, replay.NS, upPipe, downPipe)
+	app.AddDefaultRoute(inEnd)
+	replay.NS.AddRoute(appAddr, 32, outEnd)
+
+	script := netem.NewScenarioScript(loop)
+	script.LinkDown(60*sim.Millisecond, up)
+	script.LinkDown(60*sim.Millisecond, down)
+	// The link never comes back.
+
+	opts := DefaultOptions()
+	opts.ResponseTimeout = 30 * sim.Second
+	b := New(tcpsim.NewStack(app), replay.Resolver, appAddr, opts)
+	var result Result
+	got := false
+	b.Load(page, func(r Result) { result = r; got = true })
+	loop.Run()
+	script.Finish(loop.Now())
+
+	if !got {
+		t.Fatal("load wedged: completion callback never fired")
+	}
+	if result.Failed == 0 {
+		t.Fatal("no resource reported failed across a permanent link death")
+	}
+	if result.Failed+result.Resources < len(page.Resources) {
+		t.Fatalf("failed %d + fetched %d resources do not cover the page's %d",
+			result.Failed, result.Resources, len(page.Resources))
+	}
+	status0 := 0
+	for _, tm := range result.Timings {
+		if tm.Status == 0 {
+			status0++
+		}
+	}
+	if status0 == 0 {
+		t.Fatal("no timing entry carries Status 0 for a failed resource")
 	}
 }

@@ -21,9 +21,11 @@ package engine
 
 import (
 	"context"
+	"fmt"
 	"runtime"
 	"runtime/pprof"
 	"strconv"
+	"strings"
 	"sync"
 
 	"repro/internal/nsim"
@@ -98,8 +100,72 @@ func (sh *Shard) Payload(n int) []byte {
 // Engine is a fixed set of shards. The zero shard count convention follows
 // Runner.Parallel: <= 0 means GOMAXPROCS(0).
 type Engine struct {
-	shards []*Shard
+	shards    []*Shard
+	placement Placement
 }
+
+// ShardLoad is one shard's share of a Run: how many cells it executed and
+// how many loop events those cells fired.
+type ShardLoad struct {
+	Cells  int
+	Events uint64
+}
+
+// Placement reports how the last Run's work spread across shards. The
+// label hash balances cell counts only in expectation, and cells differ in
+// weight, so the event skew is the honest number: a max/mean of 1.0 is a
+// perfectly level run, 2.0 means the busiest shard did double the average
+// and bounds the wall-clock loss to hash placement. The placement depends
+// on the shard count, so it is diagnostic output — experiment artifacts,
+// which must be byte-identical at any shard count, must not embed it.
+type Placement struct {
+	Shards []ShardLoad
+}
+
+// TotalEvents sums loop events over all shards.
+func (p Placement) TotalEvents() uint64 {
+	var total uint64
+	for _, s := range p.Shards {
+		total += s.Events
+	}
+	return total
+}
+
+// EventSkew returns the busiest shard's event count over the mean event
+// count of non-idle capacity (max/mean), 0 for an empty placement.
+func (p Placement) EventSkew() float64 {
+	if len(p.Shards) == 0 {
+		return 0
+	}
+	var max uint64
+	for _, s := range p.Shards {
+		if s.Events > max {
+			max = s.Events
+		}
+	}
+	total := p.TotalEvents()
+	if total == 0 {
+		return 0
+	}
+	mean := float64(total) / float64(len(p.Shards))
+	return float64(max) / mean
+}
+
+// String renders the per-shard load table with the skew summary.
+func (p Placement) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "shard placement (%d shards):\n", len(p.Shards))
+	fmt.Fprintf(&b, "  %5s %6s %12s\n", "shard", "cells", "events")
+	for i, s := range p.Shards {
+		fmt.Fprintf(&b, "  %5d %6d %12d\n", i, s.Cells, s.Events)
+	}
+	fmt.Fprintf(&b, "  total events %d, event skew max/mean %.2f\n",
+		p.TotalEvents(), p.EventSkew())
+	return b.String()
+}
+
+// Placement reports the per-shard load of the most recent Run.
+func (e *Engine) Placement() Placement { return e.placement }
 
 // New returns an engine with n shards (n <= 0 means GOMAXPROCS(0)).
 func New(n int) *Engine {
@@ -145,7 +211,8 @@ type Job struct {
 // each shard's cells sequentially in label-index order on one goroutine per
 // non-empty shard, and returns the results index-aligned with job.Cells.
 // Each shard goroutine carries a pprof "shard" label, so a CPU or memory
-// profile of a run attributes samples per shard.
+// profile of a run attributes samples per shard. The run's per-shard load
+// is recorded for Placement.
 func (e *Engine) Run(job Job) []any {
 	out := make([]any, len(job.Cells))
 	n := len(e.shards)
@@ -154,10 +221,29 @@ func (e *Engine) Run(job Job) []any {
 		s := ShardFor(label, n)
 		assigned[s] = append(assigned[s], i)
 	}
+	e.placement = Placement{Shards: make([]ShardLoad, n)}
 	runShard := func(sh *Shard, cells []int) {
 		pprof.Do(context.Background(), pprof.Labels("shard", strconv.Itoa(sh.index)), func(context.Context) {
+			load := &e.placement.Shards[sh.index]
 			for _, i := range cells {
+				// Event attribution must survive Shard.Loop replacing the
+				// loop mid-cell (scheduler-kind change): Fired accumulates
+				// across Reset but a fresh loop starts at zero, so the
+				// baseline only applies if the pointer is unchanged.
+				prevLoop := sh.loop
+				var base uint64
+				if prevLoop != nil {
+					base = prevLoop.Fired()
+				}
 				out[i] = job.Run(sh, i, job.Cells[i])
+				load.Cells++
+				if sh.loop != nil {
+					if sh.loop == prevLoop {
+						load.Events += sh.loop.Fired() - base
+					} else {
+						load.Events += sh.loop.Fired()
+					}
+				}
 			}
 		})
 	}

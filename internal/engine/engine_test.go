@@ -114,3 +114,56 @@ func TestNewDefaultsToGOMAXPROCS(t *testing.T) {
 		t.Fatalf("New(3) made %d shards", n)
 	}
 }
+
+// placementJob runs a tiny deterministic workload: each cell schedules a
+// label-derived number of loop events on its shard's loop.
+func placementJob(n int) Job {
+	cells := make([]string, n)
+	for i := range cells {
+		cells[i] = fmt.Sprintf("p%02d", i)
+	}
+	return Job{Cells: cells, Run: func(sh *Shard, cell int, label string) any {
+		loop := sh.Loop()
+		events := int(sim.DeriveSeed(1, label)%7) + 1
+		for i := 0; i < events; i++ {
+			loop.Schedule(sim.Time(i)*sim.Millisecond, func(sim.Time) {})
+		}
+		loop.Run()
+		return events
+	}}
+}
+
+// TestEnginePlacementAccounting: the placement report's cell counts cover
+// every cell exactly once, total events equal the per-cell truth at any
+// shard count, and the skew is a well-formed max/mean.
+func TestEnginePlacementAccounting(t *testing.T) {
+	job := placementJob(24)
+	var wantEvents uint64
+	for _, label := range job.Cells {
+		wantEvents += sim.DeriveSeed(1, label)%7 + 1
+	}
+	for _, shards := range []int{1, 4} {
+		e := New(shards)
+		out := e.Run(job)
+		p := e.Placement()
+		if len(p.Shards) != shards {
+			t.Fatalf("placement has %d shards, want %d", len(p.Shards), shards)
+		}
+		cells := 0
+		for _, s := range p.Shards {
+			cells += s.Cells
+		}
+		if cells != len(out) {
+			t.Fatalf("placement counts %d cells, want %d", cells, len(out))
+		}
+		if got := p.TotalEvents(); got != wantEvents {
+			t.Fatalf("shards=%d: total events %d, want %d", shards, got, wantEvents)
+		}
+		if skew := p.EventSkew(); skew < 1.0 {
+			t.Fatalf("shards=%d: event skew %v < 1 (max below mean is impossible)", shards, skew)
+		}
+		if s := p.String(); s == "" {
+			t.Fatal("empty placement report")
+		}
+	}
+}

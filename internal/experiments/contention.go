@@ -62,11 +62,15 @@ type ContentionRow struct {
 	Result engine.ContentionResult
 }
 
-// ContentionSweepResult is the full grid in link-major order.
+// ContentionSweepResult is the full grid in link-major order. Placement is
+// the run's per-shard load report; it depends on the shard count, so
+// String() deliberately omits it — callers print it separately as a
+// diagnostic (mm-bench does, after the artifact).
 type ContentionSweepResult struct {
-	Flows int
-	Mix   engine.Mix
-	Rows  []ContentionRow
+	Flows     int
+	Mix       engine.Mix
+	Rows      []ContentionRow
+	Placement engine.Placement
 }
 
 // Contention runs the grid on the sharded engine. Each cell's spec derives
@@ -122,7 +126,7 @@ func Contention(cfg ContentionConfig) ContentionSweepResult {
 		return engine.RunContention(sh, spec)
 	}})
 
-	res := ContentionSweepResult{Flows: cfg.Flows, Mix: cfg.Mix}
+	res := ContentionSweepResult{Flows: cfg.Flows, Mix: cfg.Mix, Placement: e.Placement()}
 	for i, v := range out {
 		res.Rows = append(res.Rows, ContentionRow{
 			Link:   links[i/len(qdiscs)].name,

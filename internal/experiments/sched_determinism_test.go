@@ -89,6 +89,18 @@ var schedArtifacts = map[string]func(parallel int) string{
 		cfg.Shards = parallel
 		return Contention(cfg).String()
 	},
+	// The dynamics cells run the chaos scheduler: scripted mid-load link
+	// faults (outage, handover, rate step, loss burst, AQM hot-swap) whose
+	// transition transcripts and per-phase queue epochs are part of the
+	// artifact. Byte-identity here pins every transition instant, every
+	// drain accounting number, and the recovery behaviour of the endpoint
+	// stacks (RTO backoff ladders, browser response deadlines) across
+	// schedulers and shard counts.
+	"dynamics": func(parallel int) string {
+		cfg := DefaultDynamics()
+		cfg.Shards = parallel
+		return Dynamics(cfg).String()
+	},
 }
 
 // TestCrossSchedulerParallelDeterminism is the scheduler-ablation safety

@@ -226,11 +226,13 @@ func (d *FIFODelayBox) Stats() BoxStats {
 	return st
 }
 
-// LossBox drops each packet independently with a fixed probability
-// (Mahimahi's mm-loss extension). Drops are drawn from a dedicated sim.Rand
-// stream so loss patterns are reproducible.
+// LossBox drops packets according to a pluggable LossModel (Mahimahi's
+// mm-loss extension; Bernoulli by default). Drops are drawn from a
+// dedicated sim.Rand stream so loss patterns are reproducible, and the
+// model is swappable mid-run (SetModel/SetProb) for scripted loss steps —
+// a ScenarioScript mutation that takes effect from the next packet.
 type LossBox struct {
-	prob      float64
+	model     LossModel
 	rng       *sim.Rand
 	sink      Sink
 	batchSink BatchSink
@@ -238,14 +240,36 @@ type LossBox struct {
 	surv      []*Packet // recycled survivor scratch for SendBatch
 }
 
-// NewLossBox returns a box that drops packets with probability prob in
-// [0, 1].
+// NewLossBox returns a box that drops packets independently with
+// probability prob in [0, 1] (a Bernoulli model).
 func NewLossBox(prob float64, rng *sim.Rand) *LossBox {
-	if prob < 0 || prob > 1 {
-		panic(fmt.Sprintf("netem: loss probability %v outside [0,1]", prob))
-	}
-	return &LossBox{prob: prob, rng: rng}
+	return &LossBox{model: NewBernoulli(prob), rng: rng}
 }
+
+// NewLossBoxModel returns a box dropping per the given model.
+func NewLossBoxModel(model LossModel, rng *sim.Rand) *LossBox {
+	if model == nil {
+		panic("netem: NewLossBoxModel with nil model")
+	}
+	return &LossBox{model: model, rng: rng}
+}
+
+// Model reports the box's current loss model.
+func (l *LossBox) Model() LossModel { return l.model }
+
+// SetModel replaces the loss model from the next packet on. The RNG stream
+// continues where it left off — position in the stream is determined by
+// the packets already judged, so a scripted swap is deterministic.
+func (l *LossBox) SetModel(model LossModel) {
+	if model == nil {
+		panic("netem: LossBox.SetModel with nil model")
+	}
+	l.model = model
+}
+
+// SetProb replaces the model with a Bernoulli of the given probability —
+// the scripted loss-rate step.
+func (l *LossBox) SetProb(prob float64) { l.model = NewBernoulli(prob) }
 
 // Send implements Box.
 func (l *LossBox) Send(pkt *Packet) {
@@ -254,7 +278,7 @@ func (l *LossBox) Send(pkt *Packet) {
 	}
 	l.stats.Arrived++
 	l.stats.ArrivedBytes += uint64(pkt.Size)
-	if l.prob > 0 && l.rng.Float64() < l.prob {
+	if l.model.Drop(l.rng) {
 		l.stats.Dropped++
 		pkt.Recycle()
 		return
@@ -275,7 +299,7 @@ func (l *LossBox) SendBatch(pkts []*Packet) {
 	for _, pkt := range pkts {
 		l.stats.Arrived++
 		l.stats.ArrivedBytes += uint64(pkt.Size)
-		if l.prob > 0 && l.rng.Float64() < l.prob {
+		if l.model.Drop(l.rng) {
 			l.stats.Dropped++
 			pkt.Recycle()
 			continue
@@ -331,6 +355,32 @@ type RateBox struct {
 	sending bool
 	cur     *Packet   // packet occupying the transmitter
 	timer   sim.Timer // finish timer, rearmed across the schedule
+	carry   qdiscCarry
+}
+
+// qdiscCarry preserves a box's cumulative telemetry across scripted qdisc
+// swaps: when SwapQdisc discards the old discipline, its drop count and
+// backlog high-water mark fold in here so BoxStats stays monotone.
+type qdiscCarry struct {
+	drops  uint64
+	maxLen int
+}
+
+// absorb folds a retiring qdisc's counters into the carry, plus any
+// flush-policy drops the swap itself caused.
+func (c *qdiscCarry) absorb(qs *QueueStats, flushDrops uint64) {
+	c.drops += qs.Drops() + flushDrops
+	if qs.MaxLen > c.maxLen {
+		c.maxLen = qs.MaxLen
+	}
+}
+
+// apply adjusts a BoxStats read-through with the carried history.
+func (c *qdiscCarry) apply(st *BoxStats) {
+	st.Dropped += c.drops
+	if c.maxLen > st.MaxQueueLen {
+		st.MaxQueueLen = c.maxLen
+	}
 }
 
 // NewRateBox returns a fixed-rate box. bitsPerSec must be positive. queue
@@ -350,6 +400,54 @@ func NewRateBox(loop *sim.Loop, bitsPerSec int64, queue Qdisc) *RateBox {
 
 // Queue exposes the box's queue discipline, for telemetry.
 func (r *RateBox) Queue() Qdisc { return r.queue }
+
+// Rate reports the configured bit rate.
+func (r *RateBox) Rate() int64 { return r.bps }
+
+// SetRate changes the link rate — the scripted rate step. The packet
+// occupying the transmitter finishes at the exit time its serialization
+// already committed to (the store-and-forward analogue of a modem
+// retraining after the bit in flight); every later packet serializes at
+// the new rate.
+func (r *RateBox) SetRate(bitsPerSec int64) {
+	if bitsPerSec <= 0 {
+		panic(fmt.Sprintf("netem: non-positive rate %d", bitsPerSec))
+	}
+	r.bps = bitsPerSec
+}
+
+// SwapQdisc atomically replaces the box's queue discipline — the scripted
+// AQM hot-swap. The packet committed to the transmitter is left to finish.
+// The old backlog is flushed per policy: DrainHold re-enqueues every packet
+// into the new discipline at the swap instant in FIFO order (sojourn
+// restarts; the new discipline's admission law may tail-drop), DrainFlush
+// recycles it with drop accounting. Returns how many backlogged packets
+// moved into the new queue and how many were dropped at the boundary.
+func (r *RateBox) SwapQdisc(q Qdisc, policy DrainPolicy) (moved, dropped int) {
+	if q == nil {
+		q = NewInfinite()
+	}
+	old := r.queue
+	r.queue = q
+	now := r.loop.Now()
+	var flushDrops uint64
+	old.Flush(func(pkt *Packet) {
+		switch policy {
+		case DrainHold:
+			if q.Enqueue(pkt, now) {
+				moved++
+			} else {
+				dropped++ // the new discipline's admission law rejected it
+			}
+		default: // DrainFlush
+			dropped++
+			flushDrops++
+			pkt.Recycle()
+		}
+	})
+	r.carry.absorb(old.QueueStats(), flushDrops)
+	return moved, dropped
+}
 
 // transmitTime is the serialization delay of a packet at the box's rate.
 func (r *RateBox) transmitTime(size int) sim.Time {
@@ -440,5 +538,6 @@ func (r *RateBox) Stats() BoxStats {
 	if st.QueueLen > st.MaxQueueLen {
 		st.MaxQueueLen = st.QueueLen
 	}
+	r.carry.apply(&st)
 	return st
 }

@@ -298,6 +298,32 @@ func (q *FQCoDel) Dequeue(now sim.Time) *Packet {
 	}
 }
 
+// Flush implements Qdisc: buckets are emptied in scheduling order (the new
+// list, then the old list — each bucket's ring in FIFO order), the same
+// deterministic walk Peek uses, and the scheduling lists are reset so the
+// discipline is idle afterwards. Per-bucket CoDel state is left alone: it
+// decays exactly as it would after a queue that naturally drained.
+func (q *FQCoDel) Flush(fn func(*Packet)) {
+	for _, l := range [2]*fqList{&q.newList, &q.oldList} {
+		for {
+			f := l.pop()
+			if f == nil {
+				break
+			}
+			f.queued = false
+			f.deficit = 0
+			for {
+				pkt := f.popPkt()
+				if pkt == nil {
+					break
+				}
+				q.stats.noteFlush()
+				fn(pkt)
+			}
+		}
+	}
+}
+
 // Peek implements Qdisc: the head packet of the first backlogged bucket in
 // scheduling order, without judging it. (The delay/rate boxes never peek a
 // qdisc — they commit via Dequeue — so Peek is informational.)

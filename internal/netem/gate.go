@@ -15,6 +15,10 @@ import (
 //
 // Period lengths can be jittered by a seeded RNG so that on/off phases do
 // not align across runs unless desired.
+//
+// A scripted gate (NewScriptedGateBox) schedules no flips of its own:
+// state changes come only from SetOn, the mutation a ScenarioScript drives
+// for outage windows pinned to exact virtual instants.
 type GateBox struct {
 	loop      *sim.Loop
 	on        sim.Time
@@ -22,10 +26,12 @@ type GateBox struct {
 	jitter    float64 // fraction of period length, 0 = strictly periodic
 	rng       *sim.Rand
 	isOn      bool
+	scripted  bool // state changes come from SetOn, never self-scheduled
 	queue     Qdisc
 	sink      Sink
 	batchSink BatchSink
 	stats     BoxStats
+	carry     qdiscCarry
 	drain     []*Packet   // recycled scratch for the restore-time flush
 	flipFn    sim.Handler // flip pre-bound once, so periods schedule closure-free
 }
@@ -52,6 +58,51 @@ func NewGateBox(loop *sim.Loop, on, off sim.Time, jitter float64, rng *sim.Rand,
 	return g
 }
 
+// NewScriptedGateBox returns a gate that starts on and never flips by
+// itself: link-down and link-up come exclusively from SetOn, so a
+// ScenarioScript owns the outage timeline. queue holds packets arriving
+// while the link is down (nil = unbounded).
+func NewScriptedGateBox(loop *sim.Loop, queue Qdisc) *GateBox {
+	if queue == nil {
+		queue = NewInfinite()
+	}
+	g := &GateBox{loop: loop, isOn: true, scripted: true, queue: queue}
+	g.flipFn = g.flip
+	return g
+}
+
+// SetOn forces the gate's state — the scripted link flap. Turning the link
+// on releases the outage backlog per policy: DrainHold replays it
+// downstream in order (the mm-onoff restore behavior — the modem buffered
+// through the outage), DrainFlush recycles it with drop accounting (the
+// buffer was purged; transports must retransmit). Turning the link off, or
+// setting the current state again, moves no packets. Returns how many
+// backlogged packets were released downstream and how many were dropped.
+func (g *GateBox) SetOn(on bool, policy DrainPolicy) (moved, dropped int) {
+	if !g.scripted {
+		// A periodic gate's timeline belongs to its own flip schedule;
+		// mixing in scripted state changes would silently desynchronize it.
+		panic("netem: GateBox.SetOn on a periodic gate (use NewScriptedGateBox)")
+	}
+	if on == g.isOn {
+		return 0, 0
+	}
+	g.isOn = on
+	if !on {
+		return 0, 0
+	}
+	if policy == DrainFlush {
+		g.queue.Flush(func(pkt *Packet) {
+			dropped++
+			pkt.Recycle()
+		})
+		g.carry.drops += uint64(dropped)
+		return 0, dropped
+	}
+	moved = g.drainBacklog()
+	return moved, 0
+}
+
 // On reports whether the link is currently passing traffic.
 func (g *GateBox) On() bool { return g.isOn }
 
@@ -68,41 +119,50 @@ func (g *GateBox) period(nominal sim.Time) sim.Time {
 func (g *GateBox) flip(sim.Time) {
 	g.isOn = !g.isOn
 	if g.isOn {
-		// Link restored: drain everything held during the outage. The
-		// backlog leaves at one instant with nothing interleaved, so it
-		// continues downstream as a single train when possible.
-		now := g.loop.Now()
-		if g.batchSink != nil && g.queue.Len() > 1 {
-			drain := g.drain[:0]
-			for {
-				pkt := g.queue.Dequeue(now)
-				if pkt == nil {
-					break
-				}
-				g.stats.Delivered++
-				g.stats.DeliveredBytes += uint64(pkt.Size)
-				drain = append(drain, pkt)
-			}
-			if len(drain) > 0 {
-				g.batchSink(drain)
-			}
-			for i := range drain {
-				drain[i] = nil
-			}
-			g.drain = drain[:0]
-		} else {
-			for {
-				pkt := g.queue.Dequeue(now)
-				if pkt == nil {
-					break
-				}
-				g.deliver(pkt)
-			}
-		}
+		g.drainBacklog()
 		g.loop.Schedule(g.period(g.on), g.flipFn)
 	} else {
 		g.loop.Schedule(g.period(g.off), g.flipFn)
 	}
+}
+
+// drainBacklog releases everything held during an outage, in order, and
+// reports how many packets survived the qdisc's drop law to go downstream.
+// The backlog leaves at one instant with nothing interleaved, so it
+// continues downstream as a single train when possible.
+func (g *GateBox) drainBacklog() int {
+	now := g.loop.Now()
+	released := 0
+	if g.batchSink != nil && g.queue.Len() > 1 {
+		drain := g.drain[:0]
+		for {
+			pkt := g.queue.Dequeue(now)
+			if pkt == nil {
+				break
+			}
+			g.stats.Delivered++
+			g.stats.DeliveredBytes += uint64(pkt.Size)
+			drain = append(drain, pkt)
+		}
+		released = len(drain)
+		if len(drain) > 0 {
+			g.batchSink(drain)
+		}
+		for i := range drain {
+			drain[i] = nil
+		}
+		g.drain = drain[:0]
+		return released
+	}
+	for {
+		pkt := g.queue.Dequeue(now)
+		if pkt == nil {
+			break
+		}
+		released++
+		g.deliver(pkt)
+	}
+	return released
 }
 
 func (g *GateBox) deliver(pkt *Packet) {
@@ -162,5 +222,6 @@ func (g *GateBox) Stats() BoxStats {
 	st.QueueLen = g.queue.Len()
 	st.QueueBytes = g.queue.Bytes()
 	st.MaxQueueLen = qs.MaxLen
+	g.carry.apply(&st)
 	return st
 }

@@ -1,0 +1,119 @@
+package netem
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// LossModel decides, per packet, whether a LossBox drops it. Models draw
+// from the box's dedicated sim.Rand stream and nothing else, so a loss
+// pattern is a pure function of (model parameters, seed, packet count) and
+// every artifact built on one is byte-identical across runs, schedulers and
+// parallelism. A model must consume a fixed number of draws per Drop call
+// for given parameters (Bernoulli: one draw when p > 0, none otherwise;
+// Gilbert-Elliott: always two), so swapping models mid-run at a scripted
+// instant leaves the draw stream aligned deterministically.
+type LossModel interface {
+	// Drop reports whether the current packet is lost, advancing the
+	// model's state and consuming its draws from rng.
+	Drop(rng *sim.Rand) bool
+	// String renders the model as a compact label for artifacts
+	// ("bernoulli-0.01", "gemodel-p0.05-r0.3").
+	String() string
+}
+
+// Bernoulli drops each packet independently with probability P — the
+// original mm-loss behavior. With P == 0 no draw is consumed, preserving
+// the draw stream of a loss-free box exactly (artifacts from before loss
+// models existed depend on this).
+type Bernoulli struct {
+	P float64
+}
+
+// NewBernoulli returns an independent-loss model with probability p in
+// [0, 1].
+func NewBernoulli(p float64) *Bernoulli {
+	if p < 0 || p > 1 {
+		panic(fmt.Sprintf("netem: loss probability %v outside [0,1]", p))
+	}
+	return &Bernoulli{P: p}
+}
+
+// Drop implements LossModel.
+func (m *Bernoulli) Drop(rng *sim.Rand) bool {
+	return m.P > 0 && rng.Float64() < m.P
+}
+
+// String implements LossModel.
+func (m *Bernoulli) String() string { return fmt.Sprintf("bernoulli-%g", m.P) }
+
+// GilbertElliott is the 2-state Markov loss model of tc-netem's
+// `loss gemodel` (pumba's netem vocabulary): the channel alternates between
+// a Good state and a Bad (burst) state. Each packet first draws a state
+// transition — Good→Bad with probability P, Bad→Good with probability R —
+// and is then lost with the new state's loss probability: 1-K in Good
+// (K is the Good state's delivery probability, usually 1) and 1-H in Bad
+// (H is the Bad state's delivery probability, 0 for the classic Gilbert
+// burst). Exactly two draws are consumed per packet regardless of state or
+// outcome, so the stream position after n packets is 2n and scripted model
+// swaps stay deterministic.
+//
+// Mean burst length is 1/R packets; stationary loss rate is
+// P/(P+R)·(1-H) + R/(P+R)·(1-K).
+type GilbertElliott struct {
+	P float64 // P(Good→Bad) per packet
+	R float64 // P(Bad→Good) per packet
+	H float64 // delivery probability in Bad (loss 1-H)
+	K float64 // delivery probability in Good (loss 1-K)
+
+	bad bool // current state
+}
+
+// NewGilbertElliott returns the classic Gilbert model: transition
+// probabilities p (Good→Bad) and r (Bad→Good), every Bad-state packet lost
+// (H = 0), no Good-state loss (K = 1). Start state is Good.
+func NewGilbertElliott(p, r float64) *GilbertElliott {
+	return NewGilbertElliottFull(p, r, 0, 1)
+}
+
+// NewGilbertElliottFull returns the 4-parameter Gilbert-Elliott model with
+// explicit per-state delivery probabilities h (Bad) and k (Good).
+func NewGilbertElliottFull(p, r, h, k float64) *GilbertElliott {
+	for _, v := range [4]float64{p, r, h, k} {
+		if v < 0 || v > 1 {
+			panic(fmt.Sprintf("netem: gemodel parameter %v outside [0,1]", v))
+		}
+	}
+	return &GilbertElliott{P: p, R: r, H: h, K: k}
+}
+
+// Bad reports whether the channel is currently in the burst state.
+func (m *GilbertElliott) Bad() bool { return m.bad }
+
+// Drop implements LossModel: one transition draw, one loss draw, always.
+func (m *GilbertElliott) Drop(rng *sim.Rand) bool {
+	flip := rng.Float64()
+	if m.bad {
+		if flip < m.R {
+			m.bad = false
+		}
+	} else {
+		if flip < m.P {
+			m.bad = true
+		}
+	}
+	loss := rng.Float64()
+	if m.bad {
+		return loss >= m.H
+	}
+	return loss >= m.K
+}
+
+// String implements LossModel.
+func (m *GilbertElliott) String() string {
+	if m.H == 0 && m.K == 1 {
+		return fmt.Sprintf("gemodel-p%g-r%g", m.P, m.R)
+	}
+	return fmt.Sprintf("gemodel-p%g-r%g-h%g-k%g", m.P, m.R, m.H, m.K)
+}

@@ -48,6 +48,14 @@ type Qdisc interface {
 	// Dropped reports the cumulative number of dropped packets (tail + AQM),
 	// the figure boxes surface as BoxStats.Dropped.
 	Dropped() uint64
+	// Flush removes every queued packet in delivery order and hands each to
+	// fn, bypassing the drop law and the delivery/sojourn accounting — the
+	// packets are leaving because the queue itself is being reconfigured
+	// (a scripted qdisc swap or link-up purge), not because the discipline
+	// judged them. Each flushed packet increments QueueStats.Flushed; the
+	// callback owns the packet and decides its fate (re-enqueue elsewhere
+	// or Recycle). The queue is empty afterwards.
+	Flush(fn func(*Packet))
 }
 
 // QueueStats is the unified per-queue telemetry every discipline maintains,
@@ -67,6 +75,12 @@ type QueueStats struct {
 	// (codel-ecn, PIE with ECN). Marked packets are delivered, so they also
 	// count in Dequeued and the sojourn summary.
 	AQMMarks uint64
+	// Flushed counts packets removed by Flush — a scripted reconfiguration
+	// emptied the queue under them. Flushed packets are neither delivered
+	// nor dropped by this discipline (the flushing box accounts their fate),
+	// so conservation reads Enqueued = Dequeued + Drops + Flushed + backlog.
+	// Zero in every run without scripted dynamics.
+	Flushed uint64
 	// MaxLen and MaxBytes are backlog high-water marks, updated at Enqueue.
 	MaxLen   int
 	MaxBytes int
@@ -276,6 +290,12 @@ func (s *QueueStats) noteMark(pkt *Packet) {
 	}
 }
 
+// noteFlush accounts one packet removed by a scripted reconfiguration.
+// Flushes are not attributed per flow: the queue is being torn out from
+// under every flow equally, and the fairness tables compare what the
+// discipline chose, which a flush is not.
+func (s *QueueStats) noteFlush() { s.Flushed++ }
+
 // pktRing is the FIFO storage shared by every queue discipline: an
 // append-only slice with a dead-prefix head index, compacted once the dead
 // prefix dominates so memory stays bounded under sustained churn.
@@ -383,6 +403,19 @@ func (b *qdiscBase) aqmDrop(pkt *Packet) {
 func (b *qdiscBase) aqmMark(pkt *Packet) {
 	pkt.CE = true
 	b.stats.noteMark(pkt)
+}
+
+// Flush implements Qdisc for every single-ring discipline: pop the ring in
+// FIFO order, count each packet as flushed, and hand it to fn.
+func (b *qdiscBase) Flush(fn func(*Packet)) {
+	for {
+		pkt := b.ring.pop()
+		if pkt == nil {
+			return
+		}
+		b.stats.noteFlush()
+		fn(pkt)
+	}
 }
 
 // Peek implements Qdisc.

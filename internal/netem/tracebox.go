@@ -32,6 +32,7 @@ type TraceBox struct {
 	cur    *Packet   // packet committed to the transmitter (mid-delivery)
 	sentOf int       // bytes of cur already delivered
 	timer  sim.Timer // opportunity timer, rearmed across the trace
+	carry  qdiscCarry
 }
 
 // NewTraceBox returns a trace-driven box. queue is the queue discipline
@@ -47,6 +48,54 @@ func NewTraceBox(loop *sim.Loop, opps OpportunitySource, queue Qdisc) *TraceBox 
 
 // Queue exposes the box's queue discipline, for telemetry.
 func (t *TraceBox) Queue() Qdisc { return t.queue }
+
+// SetSource switches the box to a different opportunity source — the
+// scripted handover (LTE→wifi: same queue, same backlog, a new delivery
+// schedule). A pending opportunity from the old trace is discarded and the
+// box re-arms from the new source, so the first post-handover delivery is
+// the new trace's first opportunity after the switch instant. A packet
+// mid-delivery keeps its progress; its remaining bytes ride the new
+// trace's opportunities.
+func (t *TraceBox) SetSource(opps OpportunitySource) {
+	if opps == nil {
+		panic("netem: TraceBox.SetSource with nil source")
+	}
+	t.opps = opps
+	if t.armed {
+		t.timer.Stop()
+		t.armed = false
+	}
+	t.arm()
+}
+
+// SwapQdisc atomically replaces the box's queue discipline — the scripted
+// AQM hot-swap; see RateBox.SwapQdisc for the policy semantics. The packet
+// committed to the transmitter finishes its opportunities untouched.
+func (t *TraceBox) SwapQdisc(q Qdisc, policy DrainPolicy) (moved, dropped int) {
+	if q == nil {
+		q = NewInfinite()
+	}
+	old := t.queue
+	t.queue = q
+	now := t.loop.Now()
+	var flushDrops uint64
+	old.Flush(func(pkt *Packet) {
+		switch policy {
+		case DrainHold:
+			if q.Enqueue(pkt, now) {
+				moved++
+			} else {
+				dropped++
+			}
+		default: // DrainFlush
+			dropped++
+			flushDrops++
+			pkt.Recycle()
+		}
+	})
+	t.carry.absorb(old.QueueStats(), flushDrops)
+	return moved, dropped
+}
 
 // admit queues one packet; the qdisc tail-drops (and recycles) on overflow.
 func (t *TraceBox) admit(pkt *Packet) {
@@ -144,5 +193,6 @@ func (t *TraceBox) Stats() BoxStats {
 	if st.QueueLen > st.MaxQueueLen {
 		st.MaxQueueLen = st.QueueLen
 	}
+	t.carry.apply(&st)
 	return st
 }

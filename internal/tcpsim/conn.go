@@ -874,7 +874,7 @@ func (c *Conn) onRTO(sim.Time) {
 	if c.state == StateClosed || c.inflight() == 0 {
 		return
 	}
-	if c.rtoRetries++; c.rtoRetries > maxRTORetries {
+	if c.rtoRetries++; c.rtoRetries > c.stack.maxRetries() {
 		// The peer stayed silent through every backoff: give up. An orphan
 		// (application already closed) dies quietly, as the kernel reaps
 		// orphans — its peer tore down cleanly after receiving everything, so

@@ -1,0 +1,189 @@
+package tcpsim
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/netem"
+	"repro/internal/nsim"
+	"repro/internal/sim"
+)
+
+// outageNet builds a client/server pair on a 40 ms-RTT, 2 Mbit/s link that
+// passes through scripted gates in both directions; LinkDown/LinkUp steps
+// on the returned gates drive the outage windows. The rate limit keeps a
+// 96 KiB transfer in flight for hundreds of milliseconds so a scripted
+// outage can strike mid-stream.
+func outageNet(t *testing.T) (loop *sim.Loop, cs, ss *Stack, up, down *netem.GateBox) {
+	t.Helper()
+	loop = sim.NewLoop()
+	net := nsim.NewNetwork(loop)
+	cns := net.NewNamespace("client")
+	sns := net.NewNamespace("server")
+	cns.AddAddress(nsim.ParseAddr("10.0.0.1"))
+	sns.AddAddress(nsim.ParseAddr("10.0.0.2"))
+	up = netem.NewScriptedGateBox(loop, nil)
+	down = netem.NewScriptedGateBox(loop, nil)
+	pc := netem.NewPipeline(netem.NewDelayBox(loop, 20*sim.Millisecond))
+	pc.Append(netem.NewRateBox(loop, 2_000_000, nil))
+	pc.Append(up)
+	ps := netem.NewPipeline(netem.NewDelayBox(loop, 20*sim.Millisecond))
+	ps.Append(netem.NewRateBox(loop, 2_000_000, nil))
+	ps.Append(down)
+	ec, es := nsim.Connect(cns, sns, pc, ps)
+	cns.AddDefaultRoute(ec)
+	sns.AddDefaultRoute(es)
+	return loop, NewStack(cns), NewStack(sns), up, down
+}
+
+// outagePayload builds a deterministic payload pattern.
+func outagePayload(n int) []byte {
+	buf := make([]byte, n)
+	for i := range buf {
+		buf[i] = byte(i*7 + i>>9)
+	}
+	return buf
+}
+
+// TestOutageSurvivalWithRaisedRetryCap is the outage-recovery contract: a
+// mid-transfer link-down of 60 s (longer than the default retry ladder
+// survives), with the outage backlog purged at link-up, must not kill the
+// transfer when the stacks' retry cap is raised — the connection backs off
+// exponentially through the outage, resumes on link-up, and the received
+// stream is byte-exact with no duplicate-delivery corruption.
+func TestOutageSurvivalWithRaisedRetryCap(t *testing.T) {
+	loop, cs, ss, up, down := outageNet(t)
+	cs.SetMaxRTORetries(30)
+	ss.SetMaxRTORetries(30)
+
+	script := netem.NewScenarioScript(loop)
+	script.LinkDown(300*sim.Millisecond, up)
+	script.LinkDown(300*sim.Millisecond, down)
+	script.LinkUp(60300*sim.Millisecond, up, netem.DrainFlush)
+	script.LinkUp(60300*sim.Millisecond, down, netem.DrainFlush)
+
+	payload := outagePayload(96 << 10)
+	var srvConn *Conn
+	ss.Listen(serverAP, func(c *Conn) {
+		srvConn = c
+		c.WriteStable(payload)
+		c.Close()
+	})
+	conn, err := cs.Dial(clientAddr, serverAP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []byte
+	var closeErr error
+	closed := false
+	conn.OnData(func(p []byte) {
+		got = append(got, p...)
+		if len(got) == len(payload) {
+			conn.Close()
+		}
+	})
+	conn.OnClose(func(e error) { closed = true; closeErr = e })
+	loop.Run()
+	script.Finish(loop.Now())
+
+	if !closed {
+		t.Fatal("client connection never closed — transfer wedged")
+	}
+	if closeErr != nil {
+		t.Fatalf("connection died instead of surviving the outage: %v", closeErr)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("received %d bytes, want %d byte-exact", len(got), len(payload))
+	}
+	if st := srvConn.Statistics(); st.Timeouts == 0 {
+		t.Fatal("server sender saw no RTO across a 60s outage")
+	}
+	if end := loop.Now(); end < 60300*sim.Millisecond {
+		t.Fatalf("transfer finished at %v, before the link came back", end)
+	}
+}
+
+// TestOutageDefaultCapStillTearsDown: without the raised cap, a link that
+// never comes back exhausts the default retry ladder and a connection the
+// application still holds surfaces the retransmission-timeout error — the
+// anti-livelock contract from the orphan tests holds under scripted outages
+// too.
+func TestOutageDefaultCapStillTearsDown(t *testing.T) {
+	loop, cs, ss, up, down := outageNet(t)
+
+	script := netem.NewScenarioScript(loop)
+	script.LinkDown(300*sim.Millisecond, up)
+	script.LinkDown(300*sim.Millisecond, down)
+	// The link never comes back.
+
+	ss.Listen(serverAP, func(c *Conn) {})
+	conn, err := cs.Dial(clientAddr, serverAP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The client keeps pushing a request the server can never ACK and keeps
+	// the connection open, so the cap-exhaustion path must surface an error.
+	conn.OnEstablished(func() { conn.Write(outagePayload(96 << 10)) })
+	var closeErr error
+	closed := false
+	conn.OnClose(func(e error) { closed = true; closeErr = e })
+	loop.Run()
+
+	if !closed {
+		t.Fatal("connection outlived the retry cap — livelock")
+	}
+	if closeErr == nil {
+		t.Fatal("cap exhaustion surfaced no error to the application")
+	}
+	if got := closeErr.Error(); got != "tcpsim: retransmission timeout" {
+		t.Fatalf("close error = %q", got)
+	}
+	if st := conn.Statistics(); st.Timeouts != maxRTORetries {
+		t.Fatalf("client timed out %d times before giving up, want %d", st.Timeouts, maxRTORetries)
+	}
+}
+
+// TestOutageHoldReplaysBacklog: a short outage whose backlog is held and
+// replayed at link-up completes without corruption — the held copies plus
+// any RTO retransmissions must coalesce into one exact stream.
+func TestOutageHoldReplaysBacklog(t *testing.T) {
+	loop, cs, ss, up, down := outageNet(t)
+
+	script := netem.NewScenarioScript(loop)
+	script.LinkDown(300*sim.Millisecond, up)
+	script.LinkDown(300*sim.Millisecond, down)
+	script.LinkUp(3300*sim.Millisecond, up, netem.DrainHold)
+	script.LinkUp(3300*sim.Millisecond, down, netem.DrainHold)
+
+	payload := outagePayload(64 << 10)
+	ss.Listen(serverAP, func(c *Conn) {
+		c.WriteStable(payload)
+		c.Close()
+	})
+	conn, err := cs.Dial(clientAddr, serverAP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []byte
+	var closeErr error
+	closed := false
+	conn.OnData(func(p []byte) {
+		got = append(got, p...)
+		if len(got) == len(payload) {
+			conn.Close()
+		}
+	})
+	conn.OnClose(func(e error) { closed = true; closeErr = e })
+	loop.Run()
+	script.Finish(loop.Now())
+
+	if !closed {
+		t.Fatal("client connection never closed — transfer wedged")
+	}
+	if closeErr != nil {
+		t.Fatalf("close error: %v", closeErr)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("received %d bytes, want %d byte-exact (replay must not corrupt)", len(got), len(payload))
+	}
+}

@@ -42,6 +42,10 @@ type Stack struct {
 	// connPool, when set, recycles fully closed connections back through
 	// newConn (see ConnPool); nil keeps the allocate-per-connection behavior.
 	connPool *ConnPool
+	// rtoRetryCap overrides maxRTORetries for connections on this stack;
+	// 0 keeps the default. Raised when the workload must survive scripted
+	// outages longer than the default cap's backoff ladder.
+	rtoRetryCap int
 }
 
 // SegmentPool is a free list of recycled Segments. Like nsim.PoolSet it
@@ -139,6 +143,28 @@ func (s *Stack) SetECN(on bool) { s.ecn = on }
 
 // ECN reports whether the stack negotiates ECN on new connections.
 func (s *Stack) ECN() bool { return s.ecn }
+
+// SetMaxRTORetries sets how many consecutive retransmission timeouts a
+// connection rides out before tearing down (Linux's tcp_retries2 sysctl);
+// 0 restores the default. Existing connections see the new cap on their
+// next timeout. The default ladder (200ms min RTO doubling to 60s) gives
+// up after roughly two minutes of silence; endpoints that must survive a
+// longer scripted outage and resume on link-up raise the cap instead of
+// disabling the timeout machinery.
+func (s *Stack) SetMaxRTORetries(n int) {
+	if n < 0 {
+		n = 0
+	}
+	s.rtoRetryCap = n
+}
+
+// maxRetries resolves the stack's effective RTO retry cap.
+func (s *Stack) maxRetries() int {
+	if s.rtoRetryCap > 0 {
+		return s.rtoRetryCap
+	}
+	return maxRTORetries
+}
 
 // NewStack creates a TCP engine for the namespace with a private segment
 // pool.
