@@ -501,7 +501,8 @@ func BenchmarkContention(b *testing.B) {
 			job := engine.Job{Cells: cells, Run: func(sh *engine.Shard, cell int, label string) any {
 				return engine.RunContention(sh, spec(500, sim.DeriveSeed(3, label)))
 			}}
-			e.Run(job) // warm every shard's pools
+			e.Run(job) // warm pools under the cold hash plan
+			e.Run(job) // prime the cost oracle: measured runs plan LPT + steal
 			b.ResetTimer()
 			var events uint64
 			for i := 0; i < b.N; i++ {
@@ -516,6 +517,54 @@ func BenchmarkContention(b *testing.B) {
 			b.ReportMetric(float64(shards), "shards")
 			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(events), "ns/event")
 		})
+	}
+}
+
+// BenchmarkEngine measures the two-level scheduler itself on a synthetic
+// power-law workload: 32 cells whose event counts span ~30x — the
+// adversarial shape for static hash placement, where one heavy cell can
+// hold a whole run hostage. The steal rows run the default scheduler (a
+// cold run primes the cost oracle, so measured iterations plan LPT and
+// steal at runtime); the affinity rows pin cells to their hash shard. The
+// planskew/postskew metrics report event imbalance before and after
+// stealing — the machine-independent evidence that the scheduler levels
+// the load even where wall clock ties (single-core hosts).
+func BenchmarkEngine(b *testing.B) {
+	noop := func(sim.Time) {}
+	cells := make([]string, 32)
+	weights := make([]int, 32)
+	for i := range cells {
+		cells[i] = fmt.Sprintf("skew/%d", i)
+		weights[i] = 2000 / (i + 1) // power law: 2000, 1000, 666, ..., 62
+	}
+	job := func(affinity bool) engine.Job {
+		return engine.Job{Cells: cells, Affinity: affinity, Run: func(sh *engine.Shard, cell int, label string) any {
+			loop := sh.Loop()
+			for k := 0; k < weights[cell]; k++ {
+				loop.Schedule(sim.Time(k)*sim.Microsecond, noop)
+			}
+			loop.Run()
+			return loop.Now()
+		}}
+	}
+	for _, mode := range []string{"steal", "affinity"} {
+		for _, shards := range []int{1, 4} {
+			b.Run(fmt.Sprintf("%s-shards%d", mode, shards), func(b *testing.B) {
+				e := engine.New(shards)
+				j := job(mode == "affinity")
+				e.Run(j) // cold hash plan; primes the oracle for the steal rows
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					e.Run(j)
+				}
+				b.StopTimer()
+				p := e.Placement()
+				b.ReportMetric(p.PlannedEventSkew(), "planskew")
+				b.ReportMetric(p.EventSkew(), "postskew")
+				b.ReportMetric(float64(p.Steals()), "steals")
+			})
+		}
 	}
 }
 

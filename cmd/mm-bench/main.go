@@ -6,9 +6,10 @@
 //	mm-bench -exp sweep -delays 30,120,300 -rates 1,14,25 -trials 3
 //	mm-bench -exp contention -flows 1000 -shards 8 -mix 6:1:3
 //	mm-bench -exp dynamics -shards 4   # scripted link faults x AQM grid
+//	mm-bench -exp scaling -shards 4    # 1-vs-N engine speedup + skew smoke
 //
 // Experiments: fig2, table1, table2, fig3, servers, isolation,
-// bufferbloat, sweep, contention, dynamics.
+// bufferbloat, sweep, contention, dynamics, scaling.
 // Results print in the paper's layout with the paper's numbers alongside;
 // EXPERIMENTS.md records a reference run.
 //
@@ -34,7 +35,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: fig2|table1|table2|fig3|servers|isolation|bufferbloat|contention|dynamics|sweep|all")
+	exp := flag.String("exp", "all", "experiment: fig2|table1|table2|fig3|servers|isolation|bufferbloat|contention|dynamics|scaling|sweep|all")
 	sites := flag.Int("sites", 0, "override corpus size (0 = experiment default)")
 	loads := flag.Int("loads", 0, "override load count (0 = experiment default)")
 	parallel := flag.Int("parallel", 1, "engine workers (0 = GOMAXPROCS); output is identical at any value")
@@ -47,6 +48,8 @@ func main() {
 	flows := flag.Int("flows", 0, "contention: flows per cell (0 = default 96)")
 	shards := flag.Int("shards", 0, "contention/dynamics: engine shards (0 = default 1, -1 = GOMAXPROCS); output is identical at any value")
 	mix := flag.String("mix", "", "contention: web:bulk:rpc flow ratio (default 6:1:3)")
+	affinity := flag.Bool("affinity", false, "contention/dynamics/scaling: pin cells to their hash shard and disable work stealing")
+	reps := flag.Int("reps", 0, "scaling: repetitions per arm, oracle-primed after the first (0 = default 3)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the selected experiments to this file")
 	memprofile := flag.String("memprofile", "", "write an allocation profile taken after the run to this file")
 	sched := flag.String("sched", "wheel", "event scheduler: wheel (calendar queue of same-deadline runs) or heap (binary min-heap ablation); output is identical under both")
@@ -182,6 +185,7 @@ func main() {
 			}
 			cfg.Mix = m
 		}
+		cfg.Affinity = *affinity
 		res := experiments.Contention(cfg)
 		fmt.Println(res)
 		// The placement report depends on the shard count, so it prints
@@ -194,9 +198,36 @@ func main() {
 		if *shards != 0 {
 			cfg.Shards = *shards // -1 maps to <=0: engine.New uses GOMAXPROCS
 		}
+		cfg.Affinity = *affinity
 		res := experiments.Dynamics(cfg)
 		fmt.Println(res)
 		fmt.Println(res.Placement)
+	})
+	run("scaling", func() {
+		cfg := experiments.DefaultScaling()
+		cfg.Contention.Seed = rootSeed(*seed, cfg.Contention.Seed)
+		if *flows > 0 {
+			cfg.Contention.Flows = *flows
+		}
+		if *mix != "" {
+			m, err := engine.ParseMix(*mix)
+			if err != nil {
+				fatalf("mm-bench: -mix: %v", err)
+			}
+			cfg.Contention.Mix = m
+		}
+		if *shards != 0 {
+			cfg.Shards = *shards
+		}
+		if *reps > 0 {
+			cfg.Reps = *reps
+		}
+		cfg.Affinity = *affinity
+		res := experiments.Scaling(cfg)
+		fmt.Println(res)
+		if !res.ArtifactsMatch {
+			fatalf("mm-bench: scaling artifacts diverged across arms/repetitions")
+		}
 	})
 	run("sweep", func() {
 		cfg := experiments.DefaultSweep()
@@ -235,10 +266,11 @@ func main() {
 
 	valid := map[string]bool{"all": true, "fig2": true, "table1": true,
 		"table2": true, "fig3": true, "servers": true, "isolation": true,
-		"sweep": true, "bufferbloat": true, "contention": true, "dynamics": true}
+		"sweep": true, "bufferbloat": true, "contention": true, "dynamics": true,
+		"scaling": true}
 	if !valid[*exp] {
 		fmt.Fprintf(os.Stderr, "mm-bench: unknown experiment %q (want %s)\n",
-			*exp, strings.Join([]string{"fig2", "table1", "table2", "fig3", "servers", "isolation", "bufferbloat", "contention", "dynamics", "sweep", "all"}, "|"))
+			*exp, strings.Join([]string{"fig2", "table1", "table2", "fig3", "servers", "isolation", "bufferbloat", "contention", "dynamics", "scaling", "sweep", "all"}, "|"))
 		os.Exit(2)
 	}
 }

@@ -242,18 +242,27 @@ var (
 
 // cflow is one client flow's state machine. A flow runs transfers
 // sequentially: dial, send an 8-byte size request (web/rpc; bulk servers
-// push unprompted), count response bytes, close, think, repeat.
+// push unprompted), count response bytes, close, think, repeat. cflows are
+// pooled on the shard (contentionScratch) and reused across cells: the
+// rng is an embedded value reseeded per cell, and the two per-flow
+// callbacks are built once per cflow lifetime — they capture only the
+// cflow pointer and read run/conn through it at call time — so a warmed
+// shard's flow fan-out allocates nothing per flow.
 type cflow struct {
 	class Class
-	rng   *sim.Rand
+	rng   sim.Rand
 	left  int // transfers remaining, current included
 	want  int // expected response bytes this transfer
 	got   int
 	begin sim.Time
+	run   *contentionRun
+	conn  *tcpsim.Conn
 	// req backs the size request; WriteStable aliases it, which is safe
 	// because it is rewritten only after the previous transfer's connection
 	// has fully closed.
-	req [8]byte
+	req     [8]byte
+	onData  func([]byte)
+	onClose func(error)
 }
 
 // contentionRun is the per-cell driver state shared by all flows.
@@ -269,6 +278,43 @@ type contentionRun struct {
 	xferMS [numClasses]*stats.Accumulator
 	bytes  [numClasses]uint64
 	xfers  [numClasses]int
+}
+
+// reset prepares the pooled run for a new cell, reusing the accumulators'
+// backing arrays.
+func (r *contentionRun) reset(spec ContentionSpec, loop *sim.Loop, cs *tcpsim.Stack) {
+	r.spec, r.loop, r.cs = spec, loop, cs
+	r.live, r.peak, r.done, r.errs = 0, 0, 0, 0
+	for i := range r.xferMS {
+		if r.xferMS[i] == nil {
+			r.xferMS[i] = stats.NewAccumulator()
+		} else {
+			r.xferMS[i].Reset()
+		}
+	}
+	r.bytes = [numClasses]uint64{}
+	r.xfers = [numClasses]int{}
+}
+
+// contentionScratch is the shard-pooled session state: the flow slice (and
+// with it every cflow's persistent callbacks) plus the run driver survive
+// across the shard's cells, so per-cell setup cost is dominated by the
+// simulation itself, not by rebuilding 10k session structs.
+type contentionScratch struct {
+	flows []cflow
+	run   contentionRun
+}
+
+func contentionScratchFor(sh *Shard) *contentionScratch {
+	return sh.Scratch("engine.contention", func() any { return new(contentionScratch) }).(*contentionScratch)
+}
+
+// contentionArrive is the shared arrival/think ArgHandler: arg is the
+// *cflow whose next transfer is due. Bound once per schedule call with no
+// closure.
+func contentionArrive(_ sim.Time, arg any) {
+	f := arg.(*cflow)
+	f.run.startTransfer(f)
 }
 
 // RunContention runs one contention cell on the shard and returns its
@@ -336,27 +382,32 @@ func RunContention(sh *Shard, spec ContentionSpec) ContentionResult {
 	}
 	payload := sh.Payload(maxResp)
 
+	// One callback value per cell serves every accepted connection: the
+	// conn-passing forms (OnDataConn/OnCloseConn) keep the per-accept path
+	// free of closure allocation.
+	serveSize := func(c *tcpsim.Conn, p []byte) {
+		// The request is exactly one 8-byte segment (a single WriteStable
+		// on the client); anything else is a protocol error and the
+		// response is simply not sent — the client counts the short read
+		// as a transfer error.
+		if len(p) != 8 {
+			return
+		}
+		size := int(binary.BigEndian.Uint64(p))
+		if size > len(payload) {
+			size = len(payload)
+		}
+		c.WriteStable(payload[:size])
+		c.Close()
+	}
+	serverDone := func(c *tcpsim.Conn, _ error) { ss.Recycle(c) }
 	sizeServer := func(class Class) func(*tcpsim.Conn) {
 		return func(c *tcpsim.Conn) {
 			if classOf != nil {
 				classOf[c.Flow()] = class
 			}
-			c.OnData(func(p []byte) {
-				// The request is exactly one 8-byte segment (a single
-				// WriteStable on the client); anything else is a protocol
-				// error and the response is simply not sent — the client
-				// counts the short read as a transfer error.
-				if len(p) != 8 {
-					return
-				}
-				size := int(binary.BigEndian.Uint64(p))
-				if size > len(payload) {
-					size = len(payload)
-				}
-				c.WriteStable(payload[:size])
-				c.Close()
-			})
-			c.OnClose(func(error) { ss.Recycle(c) })
+			c.OnDataConn(serveSize)
+			c.OnCloseConn(serverDone)
 		}
 	}
 	mustListen(ss.Listen(nsim.AddrPort{Addr: contentionServerAddr, Port: webPort}, sizeServer(ClassWeb)))
@@ -366,17 +417,19 @@ func RunContention(sh *Shard, spec ContentionSpec) ContentionResult {
 		if classOf != nil {
 			classOf[c.Flow()] = ClassBulk
 		}
-		c.OnData(func([]byte) {})
+		c.OnDataConn(ignoreData)
 		c.WriteStable(bulkBody)
 		c.Close()
-		c.OnClose(func(error) { ss.Recycle(c) })
+		c.OnCloseConn(serverDone)
 	}))
 
-	r := &contentionRun{spec: spec, loop: loop, cs: cs}
-	for i := range r.xferMS {
-		r.xferMS[i] = stats.NewAccumulator()
+	scr := contentionScratchFor(sh)
+	r := &scr.run
+	r.reset(spec, loop, cs)
+	if cap(scr.flows) < spec.Flows {
+		scr.flows = make([]cflow, spec.Flows)
 	}
-	r.flows = make([]cflow, spec.Flows)
+	r.flows = scr.flows[:spec.Flows]
 	counts := spec.Mix.Counts(spec.Flows)
 	idx := 0
 	for cls := Class(0); cls < numClasses; cls++ {
@@ -396,7 +449,18 @@ func RunContention(sh *Shard, spec ContentionSpec) ContentionResult {
 			f := &r.flows[idx]
 			idx++
 			f.class = cls
-			f.rng = sim.NewRand(base + uint64(k))
+			f.rng.Seed(base + uint64(k))
+			f.run = r
+			f.conn = nil
+			f.want, f.got, f.begin = 0, 0, 0
+			if f.onData == nil {
+				// First use of this pooled slot: build the flow's two
+				// persistent callbacks. They capture only f; run and conn
+				// are read through f when they fire, so the same callback
+				// values serve every later cell on this shard.
+				f.onData = func(p []byte) { f.got += len(p) }
+				f.onClose = func(err error) { f.run.finishTransfer(f, err) }
+			}
 			switch cls {
 			case ClassWeb:
 				f.left = spec.WebTransfers
@@ -406,8 +470,7 @@ func RunContention(sh *Shard, spec ContentionSpec) ContentionResult {
 				f.left = spec.RPCCalls
 			}
 			at += arrivals.ExpFloat64() * mean
-			ff := f
-			loop.Schedule(sim.Time(at), func(sim.Time) { r.startTransfer(ff) })
+			loop.ScheduleArg(sim.Time(at), contentionArrive, f)
 		}
 	}
 	loop.Run()
@@ -512,13 +575,14 @@ func (r *contentionRun) startTransfer(f *cflow) {
 		conn.WriteStable(f.req[:])
 	}
 	conn.Close() // half-close: the response still flows
-	conn.OnData(func(p []byte) { f.got += len(p) })
-	conn.OnClose(func(err error) { r.finishTransfer(f, conn, err) })
+	f.conn = conn
+	conn.OnData(f.onData)
+	conn.OnClose(f.onClose)
 }
 
 // finishTransfer records the completed (or failed) transfer, recycles the
 // connection, and schedules the flow's next transfer after its think time.
-func (r *contentionRun) finishTransfer(f *cflow, conn *tcpsim.Conn, err error) {
+func (r *contentionRun) finishTransfer(f *cflow, err error) {
 	r.live--
 	if err != nil || f.got != f.want {
 		r.errs++
@@ -527,7 +591,8 @@ func (r *contentionRun) finishTransfer(f *cflow, conn *tcpsim.Conn, err error) {
 		r.bytes[f.class] += uint64(f.got)
 		r.xferMS[f.class].Add((r.loop.Now() - f.begin).Milliseconds())
 	}
-	r.cs.Recycle(conn)
+	r.cs.Recycle(f.conn)
+	f.conn = nil
 	f.left--
 	if f.left <= 0 {
 		r.done++
@@ -541,8 +606,12 @@ func (r *contentionRun) finishTransfer(f *cflow, conn *tcpsim.Conn, err error) {
 		mean = r.spec.RPCGap
 	}
 	gap := sim.Time(f.rng.ExpFloat64() * float64(mean))
-	r.loop.Schedule(gap, func(sim.Time) { r.startTransfer(f) })
+	r.loop.ScheduleArg(gap, contentionArrive, f)
 }
+
+// ignoreData is the bulk server's shared no-op data callback (requests on
+// the bulk port carry no payload the server needs).
+func ignoreData(*tcpsim.Conn, []byte) {}
 
 // flowDone retires a flow without a live connection (dial failure).
 func (r *contentionRun) flowDone(f *cflow) {

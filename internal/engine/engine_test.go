@@ -27,17 +27,18 @@ func TestShardForIsConsistentAndInRange(t *testing.T) {
 	}
 }
 
-func TestEngineRunIndexAlignedAndShardLocal(t *testing.T) {
+func TestEngineAffinityRunIndexAlignedAndShardLocal(t *testing.T) {
 	e := New(4)
 	cells := make([]string, 40)
 	for i := range cells {
 		cells[i] = fmt.Sprintf("c%02d", i)
 	}
-	// Each shard appends the cells it ran to its own slice — one goroutine
-	// per shard, so no synchronization. Cells assigned to one shard must
-	// arrive in label-index order (run-to-completion, deterministic order).
+	// Affinity mode: strict ShardFor pinning, no stealing. Each shard
+	// appends the cells it ran to its own slice — one goroutine per shard,
+	// so no synchronization. Cells assigned to one shard must arrive in
+	// label-index order (run-to-completion, deterministic order).
 	perShard := make([][]int, 4)
-	out := e.Run(Job{Cells: cells, Run: func(sh *Shard, cell int, label string) any {
+	out := e.Run(Job{Cells: cells, Affinity: true, Run: func(sh *Shard, cell int, label string) any {
 		if want := ShardFor(label, 4); sh.Index() != want {
 			t.Errorf("cell %q ran on shard %d, want %d", label, sh.Index(), want)
 		}
@@ -54,6 +55,15 @@ func TestEngineRunIndexAlignedAndShardLocal(t *testing.T) {
 			if ran[j] <= ran[j-1] {
 				t.Fatalf("shard %d ran cells out of index order: %v", s, ran)
 			}
+		}
+	}
+	p := e.Placement()
+	if p.Steals() != 0 {
+		t.Fatalf("affinity run recorded %d steals, want 0", p.Steals())
+	}
+	for i, c := range p.Cells {
+		if c.Ran != c.Planned {
+			t.Fatalf("affinity cell %d ran on shard %d, planned %d", i, c.Ran, c.Planned)
 		}
 	}
 }
@@ -161,6 +171,25 @@ func TestEnginePlacementAccounting(t *testing.T) {
 		}
 		if skew := p.EventSkew(); skew < 1.0 {
 			t.Fatalf("shards=%d: event skew %v < 1 (max below mean is impossible)", shards, skew)
+		}
+		if len(p.Cells) != len(out) {
+			t.Fatalf("placement records %d cells, want %d", len(p.Cells), len(out))
+		}
+		var cellEvents uint64
+		for i, c := range p.Cells {
+			if c.Label != job.Cells[i] {
+				t.Fatalf("cell %d labelled %q, want %q", i, c.Label, job.Cells[i])
+			}
+			if c.Ran < 0 || c.Ran >= shards || c.Planned < 0 || c.Planned >= shards {
+				t.Fatalf("cell %d shard indices out of range: planned %d ran %d", i, c.Planned, c.Ran)
+			}
+			cellEvents += c.Events
+		}
+		if cellEvents != wantEvents {
+			t.Fatalf("shards=%d: per-cell events sum %d, want %d", shards, cellEvents, wantEvents)
+		}
+		if prof := p.Profile(); len(prof) != len(out) {
+			t.Fatalf("profile has %d labels, want %d", len(prof), len(out))
 		}
 		if s := p.String(); s == "" {
 			t.Fatal("empty placement report")

@@ -29,6 +29,11 @@ type DynamicsConfig struct {
 	Seed uint64
 	// Shards is the sharded engine's lane count (<= 0 = GOMAXPROCS).
 	Shards int
+	// Affinity pins cells to ShardFor and disables work stealing; Profile
+	// primes the cost oracle with an earlier run's Placement.Profile().
+	// Neither can move a number in the artifact.
+	Affinity bool
+	Profile  engine.Profile
 	// LinkRate is the shaped link's base rate; StepRate is what the
 	// ratestep scenario drops it to mid-load.
 	LinkRate, StepRate int64
@@ -143,7 +148,8 @@ func Dynamics(cfg DynamicsConfig) DynamicsResult {
 	)
 
 	e := engine.New(cfg.Shards)
-	out := e.Run(engine.Job{Cells: cells, Run: func(sh *engine.Shard, cell int, label string) any {
+	e.Prime(cfg.Profile)
+	out := e.Run(engine.Job{Cells: cells, Affinity: cfg.Affinity, Run: func(sh *engine.Shard, cell int, label string) any {
 		scenario := label[:strings.IndexByte(label, '+')]
 		var spec netem.QdiscSpec
 		switch {

@@ -89,6 +89,18 @@ var schedArtifacts = map[string]func(parallel int) string{
 		cfg.Shards = parallel
 		return Contention(cfg).String()
 	},
+	// The affinity variant pins cells to their ShardFor shard with stealing
+	// disabled. Each variant is internally byte-identical across shard
+	// counts and schedulers here; the golden tests additionally pin both
+	// variants to the same pre-stealing bytes, closing the cross-mode loop.
+	"contention-affinity": func(parallel int) string {
+		cfg := DefaultContention()
+		cfg.Flows = 24
+		cfg.BulkBytes = 64 << 10
+		cfg.Shards = parallel
+		cfg.Affinity = true
+		return Contention(cfg).String()
+	},
 	// The dynamics cells run the chaos scheduler: scripted mid-load link
 	// faults (outage, handover, rate step, loss burst, AQM hot-swap) whose
 	// transition transcripts and per-phase queue epochs are part of the
@@ -99,6 +111,12 @@ var schedArtifacts = map[string]func(parallel int) string{
 	"dynamics": func(parallel int) string {
 		cfg := DefaultDynamics()
 		cfg.Shards = parallel
+		return Dynamics(cfg).String()
+	},
+	"dynamics-affinity": func(parallel int) string {
+		cfg := DefaultDynamics()
+		cfg.Shards = parallel
+		cfg.Affinity = true
 		return Dynamics(cfg).String()
 	},
 }

@@ -26,6 +26,11 @@ func (a *Accumulator) Merge(o *Accumulator) { a.values = append(a.values, o.valu
 // Len reports the number of accumulated values.
 func (a *Accumulator) Len() int { return len(a.values) }
 
+// Reset empties the accumulator in place, keeping its capacity, so pooled
+// per-cell state reuses one backing array across runs. Safe even if a
+// Sample was taken: Sample copies the values out.
+func (a *Accumulator) Reset() { a.values = a.values[:0] }
+
 // Sample freezes the accumulated values into an immutable sorted Sample.
 // The accumulator remains usable afterwards.
 func (a *Accumulator) Sample() *Sample { return New(a.values) }

@@ -169,7 +169,9 @@ type Conn struct {
 	acceptFn      func(*Conn)
 	onEstablished func()
 	onData        func([]byte)
+	onDataC       func(*Conn, []byte)
 	onClose       func(error)
+	onCloseC      func(*Conn, error)
 	closedErr     error
 	closeNotified bool
 
@@ -252,6 +254,12 @@ func (c *Conn) OnEstablished(fn func()) {
 // OnData registers the in-order data delivery callback.
 func (c *Conn) OnData(fn func([]byte)) { c.onData = fn }
 
+// OnDataConn registers a data callback that also receives the connection,
+// so a server can share one callback value across every conn it accepts
+// instead of closing over each. Takes precedence over OnData if both are
+// set.
+func (c *Conn) OnDataConn(fn func(*Conn, []byte)) { c.onDataC = fn }
+
 // OnClose registers a callback invoked when the connection fully closes;
 // err is nil for a clean close.
 func (c *Conn) OnClose(fn func(error)) {
@@ -261,6 +269,16 @@ func (c *Conn) OnClose(fn func(error)) {
 		return
 	}
 	c.onClose = fn
+}
+
+// OnCloseConn is OnClose's conn-passing form, sharable across conns like
+// OnDataConn. Takes precedence over OnClose if both are set.
+func (c *Conn) OnCloseConn(fn func(*Conn, error)) {
+	if c.state == StateClosed {
+		c.stack.loop.Schedule(0, func(sim.Time) { fn(c, c.closedErr) })
+		return
+	}
+	c.onCloseC = fn
 }
 
 // Write queues application data for transmission, copying p (the caller
@@ -1014,8 +1032,12 @@ func (c *Conn) absorb(seg *Segment) {
 		}
 		c.rcvNxt = dataEnd
 		c.stats.BytesReceived += uint64(len(data))
-		if c.onData != nil && len(data) > 0 {
-			c.onData(data)
+		if len(data) > 0 {
+			if c.onDataC != nil {
+				c.onDataC(c, data)
+			} else if c.onData != nil {
+				c.onData(data)
+			}
 		}
 	}
 	if seg.Flags&FlagFIN != 0 {
@@ -1135,9 +1157,23 @@ func (c *Conn) teardown(err error) {
 	c.rtxq = c.rtxq[:0]
 	c.releaseAllOOO()
 	c.stack.drop(c)
-	if c.onClose != nil && !c.closeNotified {
+	if (c.onClose != nil || c.onCloseC != nil) && !c.closeNotified {
 		c.closeNotified = true
-		fn := c.onClose
-		c.stack.loop.Schedule(0, func(sim.Time) { fn(err) })
+		// ScheduleArg with the package-level notifier: every transfer's
+		// teardown would otherwise allocate a closure here. The callback
+		// fields are read at fire time, which is safe: a closed conn can
+		// only be recycled from this very notification.
+		c.stack.loop.ScheduleArg(0, notifyClose, c)
+	}
+}
+
+// notifyClose delivers the deferred close notification scheduled by
+// teardown. c.closedErr is final once the conn reaches StateClosed.
+func notifyClose(_ sim.Time, arg any) {
+	c := arg.(*Conn)
+	if c.onCloseC != nil {
+		c.onCloseC(c, c.closedErr)
+	} else if c.onClose != nil {
+		c.onClose(c.closedErr)
 	}
 }

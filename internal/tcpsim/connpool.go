@@ -81,7 +81,9 @@ func (s *Stack) Recycle(c *Conn) {
 	c.acceptFn = nil
 	c.onEstablished = nil
 	c.onData = nil
+	c.onDataC = nil
 	c.onClose = nil
+	c.onCloseC = nil
 	c.closedErr = nil
 	c.pooledFree = true
 	p.puts++

@@ -46,6 +46,11 @@ type Stack struct {
 	// 0 keeps the default. Raised when the workload must survive scripted
 	// outages longer than the default cap's backoff ladder.
 	rtoRetryCap int
+	// recvFn is the receive method bound once at construction, so Dial can
+	// hand the same handler to every ephemeral bind instead of allocating a
+	// per-dial closure (the many-flow workloads dial thousands of times per
+	// cell).
+	recvFn func(*nsim.Datagram)
 }
 
 // SegmentPool is a free list of recycled Segments. Like nsim.PoolSet it
@@ -186,6 +191,7 @@ func NewStackPool(ns *nsim.Namespace, segs *SegmentPool) *Stack {
 		boundPort: make(map[uint16]bool),
 		segs:      segs,
 	}
+	s.recvFn = s.receive
 	ns.SetRxBatchHooks(s.beginRxBatch, s.endRxBatch)
 	// Close the drop-release chain: a datagram dropped anywhere in the
 	// network gives its segment reference back to the pool.
@@ -244,22 +250,15 @@ func (s *Stack) Listen(ap nsim.AddrPort, accept func(*Conn)) error {
 // raddr. The returned Conn is in SYN-SENT state; OnEstablished fires when
 // the handshake completes. Data written before establishment is buffered.
 func (s *Stack) Dial(laddr nsim.Addr, raddr nsim.AddrPort) (*Conn, error) {
-	var c *Conn
-	lap, err := s.ns.BindEphemeral(laddr, func(dg *nsim.Datagram) {
-		// The ephemeral port receives only this connection's segments.
-		seg, ok := dg.Payload.(*Segment)
-		if !ok {
-			return
-		}
-		if c != nil {
-			c.handleSegment(seg, dg.CE)
-		}
-		s.release(seg) // the wire copy's reference
-	})
+	// The ephemeral bind shares the stack's demux handler: the conn is in
+	// s.conns before any segment can arrive (no events run in between), so
+	// receive finds it by four-tuple exactly as a listener-side conn, and
+	// the dial path allocates no per-connection closure.
+	lap, err := s.ns.BindEphemeral(laddr, s.recvFn)
 	if err != nil {
 		return nil, err
 	}
-	c = newConn(s, lap, raddr, false)
+	c := newConn(s, lap, raddr, false)
 	s.conns[fourTuple{lap, raddr}] = c
 	c.sendSYN()
 	return c, nil
