@@ -347,6 +347,65 @@ func BenchmarkQdisc(b *testing.B) {
 	}
 }
 
+// BenchmarkImpair measures the impairment-box hot path under the same
+// contract as BenchmarkQdisc: one op pushes a 64-packet burst through the
+// box (plus, for the reorder row, the loop turn that drains its holds) and
+// must stay at 0 allocs/op — every box sits on the per-packet path of an
+// emulated link. Packets come from a PacketPool and are recycled by the
+// sink so DuplicateBox clones reuse pooled storage; the markov4 row prices
+// the 4-state chain's two-draw discipline inside a LossBox.
+func BenchmarkImpair(b *testing.B) {
+	const burst = 64
+	cases := []struct {
+		name string
+		mk   func(loop *sim.Loop) netem.Box
+	}{
+		{"reorder", func(loop *sim.Loop) netem.Box {
+			return netem.NewReorderBox(loop, 0.1, 0.25, 1, sim.Millisecond, sim.NewRand(7))
+		}},
+		{"duplicate", func(loop *sim.Loop) netem.Box {
+			return netem.NewDuplicateBox(0.1, 0.25, sim.NewRand(7))
+		}},
+		{"corrupt", func(loop *sim.Loop) netem.Box {
+			return netem.NewCorruptBox(0.1, 0.25, sim.NewRand(7))
+		}},
+		{"markov4", func(loop *sim.Loop) netem.Box {
+			return netem.NewLossBoxModel(netem.NewMarkov4State(0.05, 0.4, 0.3, 0.2, 0.02), sim.NewRand(7))
+		}},
+	}
+	for _, tc := range cases {
+		b.Run(tc.name, func(b *testing.B) {
+			loop := sim.NewLoop()
+			box := tc.mk(loop)
+			pool := &netem.PacketPool{}
+			box.SetSink(func(pkt *netem.Packet) { pool.Put(pkt) })
+			step := func() {
+				for i := 0; i < burst; i++ {
+					pkt := pool.Get()
+					pkt.Size = netem.MTU
+					pkt.Flow = uint64(i % 8)
+					box.Send(pkt)
+				}
+				loop.Run() // drains reorder holds; no-op for stateless boxes
+			}
+			step() // warm the pool to steady-state population
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				step()
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(burst*b.N), "ns/packet")
+			s := box.Stats()
+			if s.Arrived == 0 || s.Delivered == 0 {
+				b.Fatalf("%s bench moved no packets: %+v", tc.name, s)
+			}
+			if pool.Outstanding() != 0 {
+				b.Fatalf("%s bench leaked %d pooled packets", tc.name, pool.Outstanding())
+			}
+		})
+	}
+}
+
 // BenchmarkPageLoad measures raw simulator throughput: one full replayed
 // page load per iteration (the unit of work every experiment multiplies).
 func BenchmarkPageLoad(b *testing.B) {
@@ -674,6 +733,44 @@ func BenchmarkScenarioScript(b *testing.B) {
 		step()
 		if got := len(script.Transitions()); got != 2 {
 			b.Fatalf("warmup fired %d transitions, want 2", got)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			step()
+		}
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(burst*b.N), "ns/packet")
+	})
+	// The impairpath row prices the full impairment pipeline (4-state loss
+	// → reorder → duplicate → corrupt) after a script has hot-swapped every
+	// box once: steady state must stay at 0 allocs/op, same contract as the
+	// bare box rows in BenchmarkImpair.
+	b.Run("impairpath", func(b *testing.B) {
+		loop := sim.NewLoop()
+		loss := netem.NewLossBoxModel(netem.NewMarkov4State(0.05, 0.4, 0.3, 0.2, 0.02), sim.NewRand(3))
+		reorder := netem.NewReorderBox(loop, 0.05, 0, 1, sim.Millisecond, sim.NewRand(4))
+		dup := netem.NewDuplicateBox(0.05, 0, sim.NewRand(5))
+		corrupt := netem.NewCorruptBox(0.05, 0, sim.NewRand(6))
+		pipe := netem.NewPipeline(loss, reorder, dup, corrupt)
+		pool := &netem.PacketPool{}
+		pipe.SetSink(func(pkt *netem.Packet) { pool.Put(pkt) })
+		script := netem.NewScenarioScript(loop)
+		script.LossModelSwap(sim.Millisecond, loss, netem.NewMarkov4State(0.1, 0.5, 0.2, 0.3, 0.05))
+		script.ReorderStep(sim.Millisecond, reorder, 0.1, 0)
+		script.DuplicateStep(sim.Millisecond, dup, 0.1, 0)
+		script.CorruptStep(sim.Millisecond, corrupt, 0.1, 0)
+		step := func() {
+			for i := 0; i < burst; i++ {
+				pkt := pool.Get()
+				pkt.Size = netem.MTU
+				pkt.Flow = uint64(i % 8)
+				pipe.Send(pkt)
+			}
+			loop.Run()
+		}
+		step() // fires all four scripted swaps and warms the pool
+		if got := len(script.Transitions()); got != 4 {
+			b.Fatalf("warmup fired %d transitions, want 4", got)
 		}
 		b.ReportAllocs()
 		b.ResetTimer()

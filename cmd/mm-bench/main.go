@@ -7,9 +7,10 @@
 //	mm-bench -exp contention -flows 1000 -shards 8 -mix 6:1:3
 //	mm-bench -exp dynamics -shards 4   # scripted link faults x AQM grid
 //	mm-bench -exp scaling -shards 4    # 1-vs-N engine speedup + skew smoke
+//	mm-bench -exp linkchar             # link character x impairment grid
 //
 // Experiments: fig2, table1, table2, fig3, servers, isolation,
-// bufferbloat, sweep, contention, dynamics, scaling.
+// bufferbloat, linkchar, sweep, contention, dynamics, scaling.
 // Results print in the paper's layout with the paper's numbers alongside;
 // EXPERIMENTS.md records a reference run.
 //
@@ -35,7 +36,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: fig2|table1|table2|fig3|servers|isolation|bufferbloat|contention|dynamics|scaling|sweep|all")
+	exp := flag.String("exp", "all", "experiment: fig2|table1|table2|fig3|servers|isolation|bufferbloat|linkchar|contention|dynamics|scaling|sweep|all")
 	sites := flag.Int("sites", 0, "override corpus size (0 = experiment default)")
 	loads := flag.Int("loads", 0, "override load count (0 = experiment default)")
 	parallel := flag.Int("parallel", 1, "engine workers (0 = GOMAXPROCS); output is identical at any value")
@@ -44,7 +45,7 @@ func main() {
 	rates := flag.String("rates", "", "sweep: comma-separated link rates in Mbit/s (default 14)")
 	losses := flag.String("losses", "", "sweep: comma-separated loss probabilities (default 0,0.01)")
 	trials := flag.Int("trials", 0, "sweep: jittered loads per (site, stack) cell (0 = default)")
-	bulkMB := flag.Int("bulk-mb", 0, "bufferbloat: competing bulk flow size in MB (0 = default 16)")
+	bulkMB := flag.Int("bulk-mb", 0, "bufferbloat/linkchar: bulk flow size in MB (0 = experiment default)")
 	flows := flag.Int("flows", 0, "contention: flows per cell (0 = default 96)")
 	shards := flag.Int("shards", 0, "contention/dynamics: engine shards (0 = default 1, -1 = GOMAXPROCS); output is identical at any value")
 	mix := flag.String("mix", "", "contention: web:bulk:rpc flow ratio (default 6:1:3)")
@@ -169,6 +170,15 @@ func main() {
 		}
 		fmt.Println(experiments.Bufferbloat(cfg))
 	})
+	run("linkchar", func() {
+		cfg := experiments.DefaultLinkchar()
+		cfg.Parallel = *parallel
+		cfg.Seed = rootSeed(*seed, cfg.Seed)
+		if *bulkMB > 0 {
+			cfg.BulkBytes = *bulkMB << 20
+		}
+		fmt.Println(experiments.Linkchar(cfg))
+	})
 	run("contention", func() {
 		cfg := experiments.DefaultContention()
 		cfg.Seed = rootSeed(*seed, cfg.Seed)
@@ -266,11 +276,11 @@ func main() {
 
 	valid := map[string]bool{"all": true, "fig2": true, "table1": true,
 		"table2": true, "fig3": true, "servers": true, "isolation": true,
-		"sweep": true, "bufferbloat": true, "contention": true, "dynamics": true,
+		"sweep": true, "bufferbloat": true, "linkchar": true, "contention": true, "dynamics": true,
 		"scaling": true}
 	if !valid[*exp] {
 		fmt.Fprintf(os.Stderr, "mm-bench: unknown experiment %q (want %s)\n",
-			*exp, strings.Join([]string{"fig2", "table1", "table2", "fig3", "servers", "isolation", "bufferbloat", "contention", "dynamics", "scaling", "sweep", "all"}, "|"))
+			*exp, strings.Join([]string{"fig2", "table1", "table2", "fig3", "servers", "isolation", "bufferbloat", "linkchar", "contention", "dynamics", "scaling", "sweep", "all"}, "|"))
 		os.Exit(2)
 	}
 }

@@ -6,6 +6,8 @@
 //	mm-link -rate 14 -uplink-queue codel -downlink-queue codel
 //	mm-link -rate 12 -ecn -downlink-queue pie -pie-ecn
 //	mm-link -rate 12 -ecn -downlink-queue fq_codel -fq-ecn -fq-flows 256
+//	mm-link -rate 12 -delay 20 -reorder 0.05 -reorder-hold 30
+//	mm-link -rate 12 -loss-state 0.02,0.4,0.2,0.1,0.005
 //
 // The queue flags mirror Mahimahi's --uplink-queue/--downlink-queue:
 // droptail (default), infinite, codel (RFC 8289, parameterized by
@@ -16,6 +18,11 @@
 // -pie-ecn and -fq-ecn switch the AQM from dropping to CE-marking ECT
 // packets; -ecn makes the replayed connections negotiate ECN so their
 // traffic actually is ECT.
+//
+// The impairment flags mirror tc-netem: -reorder/-reorder-hold park
+// selected packets on the virtual clock, -duplicate clones them, -corrupt
+// flags them for checksum discard at the receiver, and -loss-state runs a
+// 4-state Markov loss chain ("p13,p31,p32,p23,p14") behind the link.
 //
 // Trace files use Mahimahi's format: one millisecond timestamp per line,
 // each line one MTU-sized packet-delivery opportunity.
@@ -52,6 +59,11 @@ func main() {
 	fqQuantum := flag.Int("fq-quantum", 0, "fq_codel DRR quantum in bytes (0 = one MTU)")
 	fqECN := flag.Bool("fq-ecn", false, "fq_codel marks ECT packets instead of dropping (RFC 8290 §4.3)")
 	ecn := flag.Bool("ecn", false, "negotiate ECN on the replayed connections (their traffic becomes ECT)")
+	reorder := flag.Float64("reorder", 0, "tc-netem reorder probability (both directions)")
+	reorderHold := flag.Int("reorder-hold", 10, "how long a displaced packet is held, ms")
+	duplicate := flag.Float64("duplicate", 0, "tc-netem duplicate probability (both directions)")
+	corrupt := flag.Float64("corrupt", 0, "tc-netem corrupt probability (both directions)")
+	lossState := flag.String("loss-state", "", "4-state Markov loss parameters \"p13,p31,p32,p23,p14\"")
 	servers := flag.Int("servers", 12, "synthetic origin count")
 	seed := flag.Uint64("seed", 1, "synthesis seed")
 	loads := flag.Int("loads", 1, "number of page loads")
@@ -118,6 +130,22 @@ func main() {
 		shellList = append(shellList, shells.NewDelayShell(sim.Time(*delayMS)*sim.Millisecond))
 	}
 	shellList = append(shellList, link)
+	if *reorder > 0 || *duplicate > 0 || *corrupt > 0 || *lossState != "" {
+		impair := &shells.ImpairShell{
+			ReorderProb: *reorder, ReorderHold: sim.Time(*reorderHold) * sim.Millisecond,
+			DuplicateProb: *duplicate, CorruptProb: *corrupt,
+			Seed: *seed,
+		}
+		if *lossState != "" {
+			var p [5]float64
+			if n, err := fmt.Sscanf(*lossState, "%g,%g,%g,%g,%g", &p[0], &p[1], &p[2], &p[3], &p[4]); n != 5 || err != nil {
+				fatal(fmt.Errorf("-loss-state wants \"p13,p31,p32,p23,p14\", got %q", *lossState))
+			}
+			impair.FourState = p[:]
+		}
+		shellList = append(shellList, impair)
+		fmt.Printf("impairments: %s\n", impair.Name())
+	}
 
 	page := webgen.GeneratePage(sim.NewRand(*seed), webgen.DefaultProfile("www.example.com", *servers))
 	for i := 0; i < *loads; i++ {

@@ -62,6 +62,9 @@ func TestContentionGoldenAcrossSchedulingModes(t *testing.T) {
 // TestDynamicsGoldenAcrossSchedulingModes does the same for the chaos
 // scheduler grid: scripted fault transcripts and queue epochs are pinned to
 // the pre-stealing bytes under hash, LPT, affinity and stealing placement.
+// (The golden file was re-captured once after duplicate-ACK counting was
+// tightened to RFC 6675 — the chaos grid's loss epochs exercise fast
+// retransmit, so its transcript moved with the fix.)
 func TestDynamicsGoldenAcrossSchedulingModes(t *testing.T) {
 	want := readGolden(t, "dynamics_pr8.golden")
 

@@ -119,6 +119,18 @@ var schedArtifacts = map[string]func(parallel int) string{
 		cfg.Affinity = true
 		return Dynamics(cfg).String()
 	},
+	// The linkchar cells put the impairment vocabulary — reorder holds on
+	// the virtual clock, pooled duplication clones, corruption flags, the
+	// 4-state Markov chain, and a scripted mid-run reorder episode — under
+	// the byte-identity contract, over the synthesized link-character
+	// corpus. Every impairment box's one-draw-per-packet stream and the
+	// tcpsim goodput accounting (DupBytesRcvd, ChecksumDrops) are pinned
+	// here across schedulers and parallelism.
+	"linkchar": func(parallel int) string {
+		cfg := DefaultLinkchar()
+		cfg.Parallel = parallel
+		return Linkchar(cfg).String()
+	},
 }
 
 // TestCrossSchedulerParallelDeterminism is the scheduler-ablation safety

@@ -50,6 +50,12 @@ type Packet struct {
 	// law fired on an ECT packet. It travels with the packet to the
 	// receiving transport, which echoes it back to the sender.
 	CE bool
+	// Corrupt marks the packet as bit-damaged in flight (CorruptBox). The
+	// emulation delivers it anyway — real links do — and the receiving
+	// transport discards it as a checksum failure, so corruption costs a
+	// full RTO or fast-retransmit round trip rather than vanishing
+	// silently at the link.
+	Corrupt bool
 	// enq is the virtual time the packet entered the qdisc currently
 	// holding it, stamped by Qdisc.Enqueue; sojourn-time AQM (CoDel) and
 	// per-queue delay telemetry read it at dequeue.
@@ -76,6 +82,12 @@ type PacketPool struct {
 	// with Put by the sink that consumed the payload, which bypasses the
 	// hook.
 	ReleasePayload func(payload any)
+	// ClonePayload, when set, produces an independently-owned copy of a
+	// packet's payload for Packet.Clone (DuplicateBox). The copy must be
+	// safe to release through ReleasePayload without affecting the
+	// original: nsim clones the datagram and takes a fresh reference on
+	// the transport segment underneath.
+	ClonePayload func(payload any) any
 	// gets and puts count pool traffic for leak accounting: at quiescence
 	// (no packets in flight or queued) they must balance.
 	gets, puts uint64
@@ -127,6 +139,27 @@ func (p *Packet) Recycle() {
 		p.pool.ReleasePayload(p.Payload)
 	}
 	p.pool.Put(p)
+}
+
+// Clone returns an independently-owned copy of the packet (DuplicateBox's
+// wire duplicate). Pooled packets clone through their origin pool — the
+// get/put ledger sees the copy as a first-class packet — and the payload is
+// cloned through the pool's ClonePayload hook so both copies can be
+// delivered or dropped in any order. Without a hook (hand-built test
+// packets, payload-less benches) the clone carries a nil payload.
+func (p *Packet) Clone() *Packet {
+	var cp *Packet
+	if p.pool != nil {
+		cp = p.pool.Get()
+	} else {
+		cp = &Packet{}
+	}
+	cp.Size, cp.Flow, cp.Seq, cp.Sent = p.Size, p.Flow, p.Seq, p.Sent
+	cp.ECT, cp.CE, cp.Corrupt, cp.enq = p.ECT, p.CE, p.Corrupt, p.enq
+	if p.Payload != nil && p.pool != nil && p.pool.ClonePayload != nil {
+		cp.Payload = p.pool.ClonePayload(p.Payload)
+	}
+	return cp
 }
 
 // String formats a short description of the packet for debug output.

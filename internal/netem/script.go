@@ -242,6 +242,31 @@ func (s *ScenarioScript) LossModelSwap(t sim.Time, l *LossBox, model LossModel) 
 	})
 }
 
+// ReorderStep schedules a reorder-parameter change on a ReorderBox (0 → a
+// reorder storm and back).
+func (s *ScenarioScript) ReorderStep(t sim.Time, r *ReorderBox, prob, corr float64) {
+	s.At(t, fmt.Sprintf("reorder-%g/%g", prob, corr), func(sim.Time) (int, int, Qdisc) {
+		r.SetReorder(prob, corr)
+		return 0, 0, nil
+	})
+}
+
+// DuplicateStep schedules a duplication-parameter change on a DuplicateBox.
+func (s *ScenarioScript) DuplicateStep(t sim.Time, d *DuplicateBox, prob, corr float64) {
+	s.At(t, fmt.Sprintf("duplicate-%g/%g", prob, corr), func(sim.Time) (int, int, Qdisc) {
+		d.SetDuplicate(prob, corr)
+		return 0, 0, nil
+	})
+}
+
+// CorruptStep schedules a corruption-parameter change on a CorruptBox.
+func (s *ScenarioScript) CorruptStep(t sim.Time, c *CorruptBox, prob, corr float64) {
+	s.At(t, fmt.Sprintf("corrupt-%g/%g", prob, corr), func(sim.Time) (int, int, Qdisc) {
+		c.SetCorrupt(prob, corr)
+		return 0, 0, nil
+	})
+}
+
 // SwapQdisc schedules an AQM hot-swap on a qdisc-holding box (droptail →
 // codel mid-run). The replacement is built from spec at setup time —
 // construction allocates, firing does not — and becomes the script's

@@ -102,6 +102,10 @@ type Datagram struct {
 	// netem.Packet that carried the datagram across a link whose AQM
 	// fired. The receiving transport echoes it to the sender.
 	CE bool
+	// Corrupt marks the datagram as bit-damaged in flight, copied back
+	// from a netem.Packet a CorruptBox flagged. The receiving transport
+	// discards it as a checksum failure.
+	Corrupt bool
 	// Payload is transport data, opaque to the network layer.
 	Payload any
 	// pooled marks datagrams allocated via Network.NewDatagram; only those

@@ -27,6 +27,10 @@ type Network struct {
 	// qdisc drops, loss, TTL expiry, no-route, no-socket — so the
 	// transport can release the wire copy's reference on it.
 	payloadRelease func(payload any)
+	// payloadRetain, when set (see SetPayloadRetain), takes an additional
+	// reference on a datagram's payload when the network clones the
+	// datagram (DuplicateBox), so each copy owns a release of its own.
+	payloadRetain func(payload any)
 }
 
 // PoolSet holds a network's recycled packet and datagram free lists. Pool
@@ -106,11 +110,43 @@ func NewNetworkPooled(loop *sim.Loop, pools *PoolSet) *Network {
 	// network; only one runs at a time, so the latest binding is always
 	// the live one.
 	pools.pkts.ReleasePayload = n.releaseDroppedPacket
+	pools.pkts.ClonePayload = n.cloneWirePayload
 	return n
 }
 
 // Pools exposes the network's pool set, for leak accounting in tests.
 func (n *Network) Pools() *PoolSet { return n.pools }
+
+// SetPayloadRetain installs the transport's duplication hook: fn takes one
+// additional reference on a transport payload when the network clones a
+// datagram carrying it (a netem DuplicateBox emitting a wire copy), so the
+// clone's eventual delivery or drop releases a reference the payload
+// actually holds. Without the hook, cloned datagrams carry a nil payload —
+// size-accurate on the wire but invisible to the transport.
+func (n *Network) SetPayloadRetain(fn func(payload any)) { n.payloadRetain = fn }
+
+// cloneWirePayload is the packet pool's clone hook (netem.Packet.Clone,
+// used by DuplicateBox): the datagram inside the duplicated packet is
+// cloned through the pool, and the transport payload underneath gains a
+// reference of its own, making the two wire copies independently droppable.
+func (n *Network) cloneWirePayload(payload any) any {
+	dg, ok := payload.(*Datagram)
+	if !ok {
+		return nil
+	}
+	cp := n.NewDatagram()
+	pooled := cp.pooled
+	*cp = *dg
+	cp.pooled = pooled
+	if cp.Payload != nil {
+		if n.payloadRetain != nil {
+			n.payloadRetain(cp.Payload)
+		} else {
+			cp.Payload = nil
+		}
+	}
+	return cp
+}
 
 // SetPayloadRelease installs the transport's drop hook: fn receives the
 // payload of every datagram the network drops, so reference-counted
@@ -486,6 +522,7 @@ func (le *LinkEnd) transmit(dg *Datagram) {
 	pkt.Seq = dg.Seq
 	pkt.ECT = dg.ECT
 	pkt.CE = dg.CE
+	pkt.Corrupt = dg.Corrupt
 	pkt.Payload = dg
 	le.pipe.Send(pkt)
 }
@@ -531,6 +568,9 @@ func Connect(a, b *Namespace, ab, ba *netem.Pipeline) (*LinkEnd, *LinkEnd) {
 			if p.CE {
 				dg.CE = true // the link's AQM marked this packet
 			}
+			if p.Corrupt {
+				dg.Corrupt = true // a CorruptBox damaged this packet
+			}
 			net.pools.pkts.Put(p)
 			loop.ScheduleArg(0, dst.recvArg, dg)
 		}
@@ -544,6 +584,9 @@ func Connect(a, b *Namespace, ab, ba *netem.Pipeline) (*LinkEnd, *LinkEnd) {
 				dg := p.Payload.(*Datagram)
 				if p.CE {
 					dg.CE = true
+				}
+				if p.Corrupt {
+					dg.Corrupt = true
 				}
 				batch.dgs = append(batch.dgs, dg)
 				net.pools.pkts.Put(p)

@@ -136,6 +136,81 @@ func (l *LossShell) Boxes(loop *sim.Loop) (netem.Box, netem.Box) {
 	return netem.NewLossBox(l.UpProb, rng.Fork()), netem.NewLossBox(l.DownProb, rng.Fork())
 }
 
+// ImpairShell applies the rest of tc-netem's impairment vocabulary —
+// reordering, duplication, corruption, and 4-state Markov loss — to both
+// directions (mm-link's -reorder/-duplicate/-corrupt/-loss-state flags).
+// Arms with zero probability are pure passthroughs (zero RNG draws), so an
+// ImpairShell with a single active arm perturbs nothing else. Each
+// direction and each arm draws from its own forked stream in a fixed
+// order, so enabling one arm cannot desynchronize another.
+type ImpairShell struct {
+	// ReorderProb/ReorderCorr select packets for displacement; ReorderGap
+	// is the candidate stride (values < 1 mean every packet); ReorderHold
+	// is how long a displaced packet is parked on the virtual clock.
+	ReorderProb, ReorderCorr float64
+	ReorderGap               int
+	ReorderHold              sim.Time
+	// DuplicateProb/DuplicateCorr clone selected packets.
+	DuplicateProb, DuplicateCorr float64
+	// CorruptProb/CorruptCorr flag selected packets as bit-damaged; the
+	// receiving transport discards them as checksum failures.
+	CorruptProb, CorruptCorr float64
+	// FourState, when non-nil, adds a 4-state Markov loss box with
+	// parameters [p13, p31, p32, p23, p14] (netem.NewMarkov4State).
+	FourState []float64
+	// Seed derives every arm's draw streams deterministically.
+	Seed uint64
+}
+
+// Name implements Shell: only active arms appear in the label.
+func (im *ImpairShell) Name() string {
+	name := "impair"
+	if im.ReorderProb > 0 {
+		name += fmt.Sprintf("-r%g/%g", im.ReorderProb, im.ReorderCorr)
+	}
+	if im.DuplicateProb > 0 {
+		name += fmt.Sprintf("-d%g/%g", im.DuplicateProb, im.DuplicateCorr)
+	}
+	if im.CorruptProb > 0 {
+		name += fmt.Sprintf("-c%g/%g", im.CorruptProb, im.CorruptCorr)
+	}
+	if im.FourState != nil {
+		name += fmt.Sprintf("-4s%g", im.FourState)
+	}
+	return name
+}
+
+// Boxes implements Shell: each direction is a pipeline of the active arms
+// in a fixed order (loss, reorder, duplicate, corrupt). RNG streams fork
+// in that same fixed order regardless of which arms are active.
+func (im *ImpairShell) Boxes(loop *sim.Loop) (netem.Box, netem.Box) {
+	rng := sim.NewRand(im.Seed)
+	dir := func() netem.Box {
+		var arms []netem.Box
+		lossRng, reorderRng, dupRng, corruptRng := rng.Fork(), rng.Fork(), rng.Fork(), rng.Fork()
+		if p := im.FourState; p != nil {
+			arms = append(arms, netem.NewLossBoxModel(
+				netem.NewMarkov4State(p[0], p[1], p[2], p[3], p[4]), lossRng))
+		}
+		if im.ReorderProb > 0 {
+			hold := im.ReorderHold
+			if hold <= 0 {
+				hold = 10 * sim.Millisecond
+			}
+			arms = append(arms, netem.NewReorderBox(loop,
+				im.ReorderProb, im.ReorderCorr, im.ReorderGap, hold, reorderRng))
+		}
+		if im.DuplicateProb > 0 {
+			arms = append(arms, netem.NewDuplicateBox(im.DuplicateProb, im.DuplicateCorr, dupRng))
+		}
+		if im.CorruptProb > 0 {
+			arms = append(arms, netem.NewCorruptBox(im.CorruptProb, im.CorruptCorr, corruptRng))
+		}
+		return netem.NewPipeline(arms...)
+	}
+	return dir(), dir()
+}
+
 // OnOffShell models an intermittently available link (Mahimahi's mm-onoff
 // extension): both directions alternate between on and off periods;
 // packets arriving while off are queued until the link returns.

@@ -251,3 +251,104 @@ func TestOnOffShellStallsThenDelivers(t *testing.T) {
 		t.Fatal("empty name")
 	}
 }
+
+// TestImpairShellName pins the label: only active arms appear.
+func TestImpairShellName(t *testing.T) {
+	sh := &ImpairShell{ReorderProb: 0.1, ReorderCorr: 0.25, CorruptProb: 0.02, Seed: 1}
+	if got, want := sh.Name(), "impair-r0.1/0.25-c0.02/0"; got != want {
+		t.Fatalf("name = %q, want %q", got, want)
+	}
+	full := &ImpairShell{
+		ReorderProb: 0.1, DuplicateProb: 0.05, CorruptProb: 0.02,
+		FourState: []float64{0.2, 0.5, 0.2, 0.3, 0.1}, Seed: 1,
+	}
+	if got, want := full.Name(), "impair-r0.1/0-d0.05/0-c0.02/0-4s[0.2 0.5 0.2 0.3 0.1]"; got != want {
+		t.Fatalf("name = %q, want %q", got, want)
+	}
+	if got, want := (&ImpairShell{}).Name(), "impair"; got != want {
+		t.Fatalf("empty name = %q, want %q", got, want)
+	}
+}
+
+// TestImpairShellInertIsWire: an all-zero ImpairShell is an empty pipeline —
+// a pure wire that adds no delay and touches no RNG, so stacking it onto an
+// existing scenario cannot move any number.
+func TestImpairShellInertIsWire(t *testing.T) {
+	if got := rtt(t, &ImpairShell{Seed: 9}); got != 0 {
+		t.Fatalf("inert impair shell RTT = %v, want 0", got)
+	}
+}
+
+// TestImpairShellDuplicates: DuplicateProb=1 doubles every packet in both
+// directions — one send yields two world arrivals and four app arrivals
+// (each world copy is echoed, each echo duplicated on the way down).
+func TestImpairShellDuplicates(t *testing.T) {
+	loop := sim.NewLoop()
+	net := nsim.NewNetwork(loop)
+	world := net.NewNamespace("world")
+	world.AddAddress(worldAddr)
+	st := Build(net, world, appAddr, &ImpairShell{DuplicateProb: 1, Seed: 5})
+	worldGot, appGot := 0, 0
+	world.Bind(nsim.AddrPort{Addr: worldAddr, Port: 7}, func(dg *nsim.Datagram) {
+		worldGot++
+		world.Send(&nsim.Datagram{Src: dg.Dst, Dst: dg.Src, Size: dg.Size})
+	})
+	st.App.Bind(nsim.AddrPort{Addr: appAddr, Port: 7}, func(*nsim.Datagram) { appGot++ })
+	st.App.Send(&nsim.Datagram{
+		Src: nsim.AddrPort{Addr: appAddr, Port: 7},
+		Dst: nsim.AddrPort{Addr: worldAddr, Port: 7}, Size: 100,
+	})
+	loop.Run()
+	if worldGot != 2 || appGot != 4 {
+		t.Fatalf("world=%d app=%d, want 2,4", worldGot, appGot)
+	}
+}
+
+// TestImpairShellCorruptFlagReachesReceiver: the Corrupt flag set by the
+// shell's CorruptBox must survive the netem→nsim boundary so transports can
+// model checksum failure.
+func TestImpairShellCorruptFlagReachesReceiver(t *testing.T) {
+	loop := sim.NewLoop()
+	net := nsim.NewNetwork(loop)
+	world := net.NewNamespace("world")
+	world.AddAddress(worldAddr)
+	st := Build(net, world, appAddr, &ImpairShell{CorruptProb: 1, Seed: 5})
+	corrupt := 0
+	world.Bind(nsim.AddrPort{Addr: worldAddr, Port: 7}, func(dg *nsim.Datagram) {
+		if dg.Corrupt {
+			corrupt++
+		}
+	})
+	st.App.Send(&nsim.Datagram{
+		Src: nsim.AddrPort{Addr: appAddr, Port: 7},
+		Dst: nsim.AddrPort{Addr: worldAddr, Port: 7}, Size: 100,
+	})
+	loop.Run()
+	if corrupt != 1 {
+		t.Fatalf("corrupt arrivals = %d, want 1", corrupt)
+	}
+}
+
+// TestImpairShellFourStateLoss: the 4-state arm with P14=1 alternates
+// isolated losses (.1.1...): of 10 packets sent, exactly 5 arrive.
+func TestImpairShellFourStateLoss(t *testing.T) {
+	loop := sim.NewLoop()
+	net := nsim.NewNetwork(loop)
+	world := net.NewNamespace("world")
+	world.AddAddress(worldAddr)
+	st := Build(net, world, appAddr, &ImpairShell{FourState: []float64{0, 0, 0, 0, 1}, Seed: 5})
+	got := 0
+	world.Bind(nsim.AddrPort{Addr: worldAddr, Port: 7}, func(*nsim.Datagram) { got++ })
+	loop.Schedule(0, func(sim.Time) {
+		for i := 0; i < 10; i++ {
+			st.App.Send(&nsim.Datagram{
+				Src: nsim.AddrPort{Addr: appAddr, Port: 7},
+				Dst: nsim.AddrPort{Addr: worldAddr, Port: 7}, Size: 100,
+			})
+		}
+	})
+	loop.Run()
+	if got != 5 {
+		t.Fatalf("delivered %d of 10 under alternating 4-state loss, want 5", got)
+	}
+}

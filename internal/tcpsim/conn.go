@@ -68,6 +68,16 @@ type Stats struct {
 	// echoed marks caused on the sending side (RFC 3168 §6.1.2).
 	ECNMarksSeen  uint64
 	ECNReductions uint64
+	// DupBytesRcvd counts payload bytes that arrived after already being
+	// delivered (spurious retransmissions, network duplication): wire
+	// bytes this receiver consumed that added nothing to the stream.
+	// BytesReceived counts each stream byte once, so goodput-based
+	// fairness reads BytesReceived while raw delivered-bytes fairness
+	// (a queue's DequeuedBytes) silently includes these.
+	DupBytesRcvd uint64
+	// ChecksumDrops counts inbound segments discarded because the
+	// carrying datagram was corrupted in flight (netem CorruptBox).
+	ChecksumDrops uint64
 	// SRTT is the smoothed RTT estimate (zero before the first sample).
 	SRTT sim.Time
 }
@@ -508,7 +518,7 @@ func (c *Conn) handleSegment(seg *Segment, ce bool) {
 				c.ectOK = true
 			}
 			c.rcvNxt = seg.Seq + 1
-			c.processAck(seg.Ack, false)
+			c.processAck(seg.Ack, false, false)
 			c.establish()
 			c.sendAck()
 			c.pump()
@@ -539,7 +549,7 @@ func (c *Conn) handleSegment(seg *Segment, ce bool) {
 			return
 		}
 		if seg.Flags&FlagACK != 0 && seg.Ack >= 1 {
-			c.processAck(seg.Ack, false)
+			c.processAck(seg.Ack, false, false)
 			c.establish()
 			// Fall through to process any piggybacked data.
 		} else {
@@ -564,11 +574,11 @@ func (c *Conn) handleSegment(seg *Segment, ce bool) {
 		}
 	}
 	if seg.Flags&FlagACK != 0 {
-		c.markSacked(seg.Sack)
+		newSack := c.markSacked(seg.Sack)
 		// Only a pure ACK (no sequence-consuming payload) can be a
 		// duplicate ACK (RFC 5681): segments that carry data piggyback a
 		// possibly stale ack number and must not trigger fast retransmit.
-		c.processAck(seg.Ack, seg.SeqLen() == 0)
+		c.processAck(seg.Ack, seg.SeqLen() == 0, newSack)
 		// The ECN reaction runs after the cumulative ack has advanced, as
 		// Linux does: an ECE arriving with the ack that completes the
 		// previous reduction's window opens the gate for the next one.
@@ -589,14 +599,24 @@ func (c *Conn) handleSegment(seg *Segment, ce bool) {
 	c.pump()
 }
 
-// markSacked records receiver-held ranges against the retransmit queue.
-func (c *Conn) markSacked(ranges []SackRange) {
+// markSacked records receiver-held ranges against the retransmit queue. It
+// reports whether the ranges carried previously unknown information — a
+// range end above the old highSack, or a tracked segment newly marked
+// receiver-held. Duplicate-ACK counting keys on this (RFC 6675's DupAck
+// definition): an ack run caused by genuine loss keeps reporting new SACK
+// coverage as later segments land, while re-acks of data the receiver
+// already had (network duplication, a reorder-displaced copy arriving
+// late) repeat known ranges and must not push the sender toward a spurious
+// fast retransmit.
+func (c *Conn) markSacked(ranges []SackRange) bool {
 	if len(ranges) == 0 {
-		return
+		return false
 	}
+	newInfo := false
 	for _, r := range ranges {
 		if r.End > c.highSack {
 			c.highSack = r.End
+			newInfo = true
 		}
 	}
 	for i := range c.rtxq {
@@ -608,6 +628,7 @@ func (c *Conn) markSacked(ranges []SackRange) {
 		for _, r := range ranges {
 			if start >= r.Start && end <= r.End {
 				ss.sacked = true
+				newInfo = true
 				if ss.inFlight {
 					c.pipeBytes -= int(ss.seg.SeqLen())
 				}
@@ -618,6 +639,7 @@ func (c *Conn) markSacked(ranges []SackRange) {
 	if c.inRecovery {
 		c.markLost()
 	}
+	return newInfo
 }
 
 // markSegLost clears one segment's in-flight bit, keeping the pipe counter
@@ -679,8 +701,10 @@ func (c *Conn) establish() {
 
 // processAck handles the cumulative acknowledgment field. pureAck reports
 // whether the carrying segment consumed no sequence space (only such
-// segments count toward duplicate-ACK loss detection).
-func (c *Conn) processAck(ack uint64, pureAck bool) {
+// segments count toward duplicate-ACK loss detection); newSack reports
+// whether the segment's SACK blocks carried previously unknown coverage
+// (see markSacked).
+func (c *Conn) processAck(ack uint64, pureAck, newSack bool) {
 	if ack > c.sndNxt {
 		return // acks data we never sent; ignore
 	}
@@ -707,8 +731,15 @@ func (c *Conn) processAck(ack uint64, pureAck bool) {
 		c.maybeFinish()
 		return
 	}
-	// Duplicate ACK (only pure ACKs count, and only with data outstanding).
-	if pureAck && ack == c.sndUna && c.inflight() > 0 {
+	// Duplicate ACK: only pure ACKs with data outstanding, and only when
+	// the ack delivered previously unknown SACK coverage (RFC 6675's
+	// DupAck). A genuine loss produces an ack run whose SACK blocks keep
+	// growing as later segments land; re-acks of data the receiver already
+	// held — duplicated wire copies, a reorder-displaced segment arriving
+	// after its ack run resolved — repeat known ranges (or carry none) and
+	// are no evidence of loss, so counting them triggered spurious fast
+	// retransmits under reordering and duplication.
+	if pureAck && newSack && ack == c.sndUna && c.inflight() > 0 {
 		c.dupAcks++
 		if !c.inRecovery && c.dupAcks == 3 {
 			c.enterFastRecovery()
@@ -931,16 +962,22 @@ func (c *Conn) onRTO(sim.Time) {
 func (c *Conn) processData(seg *Segment) {
 	end := seg.Seq + seg.SeqLen()
 	if end <= c.rcvNxt {
-		// Entirely old: retransmitted data we already have. Re-ACK.
+		// Entirely old: retransmitted or duplicated data we already have.
+		// Count the wasted bytes and re-ACK.
+		c.stats.DupBytesRcvd += uint64(len(seg.Data))
 		c.sendAck()
 		return
 	}
 	if seg.Seq > c.rcvNxt {
 		// Out of order: buffer (taking a reference) and send duplicate ACK.
+		// A copy of a segment already buffered (duplication, a spurious
+		// retransmit of a SACKed segment) is entirely wasted bytes.
 		if _, ok := c.ooo[seg.Seq]; !ok {
 			c.stack.retain(seg)
 			c.ooo[seg.Seq] = seg
 			c.noteOOO(SackRange{Start: seg.Seq, End: seg.Seq + seg.SeqLen()})
+		} else {
+			c.stats.DupBytesRcvd += uint64(len(seg.Data))
 		}
 		c.sendAck()
 		return
@@ -1028,6 +1065,9 @@ func (c *Conn) absorb(seg *Segment) {
 	if dataEnd > c.rcvNxt {
 		data := seg.Data
 		if seg.Seq < c.rcvNxt {
+			// The prefix below the cumulative point was already delivered:
+			// those wire bytes bought nothing.
+			c.stats.DupBytesRcvd += c.rcvNxt - seg.Seq
 			data = data[c.rcvNxt-seg.Seq:]
 		}
 		c.rcvNxt = dataEnd

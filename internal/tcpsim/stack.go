@@ -131,6 +131,16 @@ func releasePayload(payload any) {
 	}
 }
 
+// retainPayload is the duplication hook (see nsim.Network.SetPayloadRetain):
+// when the network clones a datagram in flight (netem's DuplicateBox), the
+// wire copy gets a segment reference of its own, so both copies can be
+// delivered or dropped in any order and the pool ledger still balances.
+func retainPayload(payload any) {
+	if seg, ok := payload.(*Segment); ok && seg.pooled {
+		seg.refs++
+	}
+}
+
 // SetCongestion selects the congestion-control algorithm for connections
 // created after the call (default Reno).
 func (s *Stack) SetCongestion(cc CongestionAlgorithm) { s.cc = cc }
@@ -194,8 +204,10 @@ func NewStackPool(ns *nsim.Namespace, segs *SegmentPool) *Stack {
 	s.recvFn = s.receive
 	ns.SetRxBatchHooks(s.beginRxBatch, s.endRxBatch)
 	// Close the drop-release chain: a datagram dropped anywhere in the
-	// network gives its segment reference back to the pool.
+	// network gives its segment reference back to the pool. The retain
+	// hook is the chain's mirror image for duplicated wire copies.
 	ns.Network().SetPayloadRelease(releasePayload)
+	ns.Network().SetPayloadRetain(retainPayload)
 	return s
 }
 
@@ -279,6 +291,17 @@ func (s *Stack) receive(dg *nsim.Datagram) {
 		return
 	}
 	key := fourTuple{local: dg.Dst, remote: dg.Src}
+	if dg.Corrupt {
+		// Checksum failure: the segment is discarded before any TCP
+		// processing — no ack, no state change — exactly as a hardware
+		// checksum drop. The loss is only discovered by the sender's
+		// retransmission machinery.
+		if c, ok := s.conns[key]; ok {
+			c.stats.ChecksumDrops++
+		}
+		s.release(seg)
+		return
+	}
 	if c, ok := s.conns[key]; ok {
 		c.handleSegment(seg, dg.CE)
 		s.release(seg)
